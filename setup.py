@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so the
+PEP 660 editable-install path (``pip install -e .``) cannot build; this
+shim enables the classic ``python setup.py develop`` fallback.  All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

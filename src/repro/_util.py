@@ -1,0 +1,101 @@
+"""Small shared utilities used across the :mod:`repro` package.
+
+Everything in here is deterministic: pseudo-randomness is always derived
+from explicit seeds through SHA-256 so that every experiment in the
+reproduction is replayable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import struct
+from typing import Any, Iterable
+
+__all__ = [
+    "sha256_hex",
+    "prf_uint64",
+    "prf_unit",
+    "stable_repr",
+    "require",
+]
+
+_UINT64_MAX = 2**64 - 1
+
+
+def stable_repr(value: Any) -> bytes:
+    """Return a deterministic byte encoding of ``value`` for hashing.
+
+    Supports the small universe of types used by the library: ``None``,
+    ``bool``, ``int``, ``float``, ``str``, ``bytes`` and (nested) tuples /
+    lists / dicts / frozensets of those.  The encoding is injective on that
+    universe (types are tagged), so two different values never collide at
+    the encoding level.
+    """
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"B1" if value else b"B0"
+    if isinstance(value, int):
+        return b"I" + str(value).encode()
+    if isinstance(value, float):
+        return b"F" + struct.pack(">d", value)
+    if isinstance(value, str):
+        data = value.encode()
+        return b"S" + str(len(data)).encode() + b":" + data
+    if isinstance(value, bytes):
+        return b"Y" + str(len(value)).encode() + b":" + value
+    if isinstance(value, (tuple, list)):
+        inner = b"".join(stable_repr(v) for v in value)
+        return b"T(" + inner + b")"
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: stable_repr(kv[0]))
+        inner = b"".join(stable_repr(k) + stable_repr(v) for k, v in items)
+        return b"D(" + inner + b")"
+    if isinstance(value, (set, frozenset)):
+        inner = b"".join(sorted(stable_repr(v) for v in value))
+        return b"Z(" + inner + b")"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Encode as class name + field items so distinct types never collide.
+        fields = tuple(
+            (f.name, getattr(value, f.name)) for f in dataclasses.fields(value)
+        )
+        return b"C" + type(value).__name__.encode() + stable_repr(fields)
+    raise TypeError(f"stable_repr does not support {type(value)!r}")
+
+
+def sha256_hex(*parts: Any) -> str:
+    """SHA-256 of the :func:`stable_repr` of ``parts``, as a hex string."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(stable_repr(part))
+    return h.hexdigest()
+
+
+def prf_uint64(*parts: Any) -> int:
+    """A deterministic pseudo-random 64-bit integer derived from ``parts``.
+
+    This is the single source of pseudo-randomness for oracle tapes, VRFs
+    and simulated signatures: SHA-256 in counter-less PRF mode.
+    """
+    digest = hashlib.sha256(b"".join(stable_repr(p) for p in parts)).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def prf_unit(*parts: Any) -> float:
+    """A deterministic pseudo-random float in ``[0, 1)`` derived from ``parts``."""
+    return prf_uint64(*parts) / (_UINT64_MAX + 1)
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def pairwise_unordered(items: Iterable[Any]):
+    """Yield all unordered pairs ``(a, b)`` with ``a`` before ``b`` in ``items``."""
+    seq = list(items)
+    for i in range(len(seq)):
+        for j in range(i + 1, len(seq)):
+            yield seq[i], seq[j]

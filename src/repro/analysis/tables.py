@@ -1,0 +1,48 @@
+"""ASCII table and series rendering for bench output.
+
+Benches print the same rows the paper reports; this module keeps the
+formatting deterministic and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Column widths adapt to content; a title line and separator are
+    prepended when ``title`` is given.
+    """
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: Iterable[tuple], x_label: str = "x", y_label: str = "y") -> str:
+    """Render an (x, y) series as labelled rows — a text-mode 'figure'."""
+    lines = [f"{name}  [{x_label} → {y_label}]"]
+    for x, y in points:
+        lines.append(f"  {_cell(x):>12} → {_cell(y)}")
+    return "\n".join(lines)

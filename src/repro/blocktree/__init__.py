@@ -1,0 +1,68 @@
+"""The BlockTree data structure and BT-ADT (paper Section 3.1).
+
+The BlockTree is a directed rooted tree ``bt = (V, E)`` whose vertices are
+blocks and whose edges point back toward the *genesis block* ``b0``.  A
+*blockchain* is the path from a leaf to ``b0``.  The BT-ADT
+(Definition 3.1) exposes ``append(b)`` — which attaches a valid block to
+the tip of the chain chosen by the selection function ``f`` — and
+``read()`` which returns ``{b0} ⌢ f(bt)``.
+
+Modules:
+
+* :mod:`repro.blocktree.block` — immutable blocks and validity predicates ``P``.
+* :mod:`repro.blocktree.chain` — the blockchain value type (genesis→leaf path).
+* :mod:`repro.blocktree.tree` — the mutable rooted tree with incremental
+  weights (for GHOST) and persistent *frozen* snapshots.
+* :mod:`repro.blocktree.score` — monotonic score functions and ``mcps``.
+* :mod:`repro.blocktree.selection` — selection functions ``f ∈ F``.
+* :mod:`repro.blocktree.bt_adt` — the BT-ADT transducer of Definition 3.1.
+"""
+
+from repro.blocktree.block import (
+    GENESIS,
+    AlwaysValid,
+    Block,
+    PredicateValid,
+    TableValid,
+    ValidityPredicate,
+    make_block,
+)
+from repro.blocktree.chain import Chain
+from repro.blocktree.tree import BlockTree
+from repro.blocktree.score import (
+    LengthScore,
+    ScoreFunction,
+    WorkScore,
+    mcps,
+)
+from repro.blocktree.selection import (
+    GHOSTSelection,
+    HeaviestChain,
+    LongestChain,
+    SelectionFunction,
+)
+from repro.blocktree.bt_adt import Append, BTADT, BTState, Read
+
+__all__ = [
+    "GENESIS",
+    "Block",
+    "make_block",
+    "ValidityPredicate",
+    "AlwaysValid",
+    "TableValid",
+    "PredicateValid",
+    "Chain",
+    "BlockTree",
+    "ScoreFunction",
+    "LengthScore",
+    "WorkScore",
+    "mcps",
+    "SelectionFunction",
+    "LongestChain",
+    "HeaviestChain",
+    "GHOSTSelection",
+    "BTADT",
+    "BTState",
+    "Append",
+    "Read",
+]

@@ -1,0 +1,112 @@
+"""Blockchain value type: a genesis→leaf path through the BlockTree.
+
+The paper denotes a blockchain ``bc`` and writes ``{b0} ⌢ f(bt)`` for the
+chain returned by ``read()``.  Our :class:`Chain` always includes the
+genesis block at position 0, which keeps prefix reasoning uniform (the
+paper's convention that ``f`` does not return ``b0`` is a presentation
+detail; ``read`` re-attaches it).
+
+Chains are immutable and hashable, and support the prefix relation ``⊑``
+and maximal-common-prefix extraction used by the consistency criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+from repro.blocktree.block import GENESIS, Block
+
+__all__ = ["Chain"]
+
+
+@dataclass(frozen=True)
+class Chain:
+    """An immutable sequence of blocks from genesis to a leaf.
+
+    Invariants (checked at construction): the first block is genesis and
+    each subsequent block's ``parent_id`` equals its predecessor's id.
+    """
+
+    blocks: Tuple[Block, ...]
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError("a chain contains at least the genesis block")
+        if not self.blocks[0].is_genesis:
+            raise ValueError("chains start at the genesis block")
+        for prev, cur in zip(self.blocks, self.blocks[1:]):
+            if cur.parent_id != prev.block_id:
+                raise ValueError(
+                    f"broken chain link: {cur.short()} does not extend {prev.short()}"
+                )
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def genesis() -> "Chain":
+        """The trivial chain ``{b0}``."""
+        return Chain((GENESIS,))
+
+    @staticmethod
+    def of(blocks: Iterable[Block]) -> "Chain":
+        """Build a chain from an iterable of blocks (genesis first)."""
+        return Chain(tuple(blocks))
+
+    def extend(self, block: Block) -> "Chain":
+        """Return this chain with ``block`` appended at the tip."""
+        return Chain(self.blocks + (block,))
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def tip(self) -> Block:
+        """The leaf (most recently appended block) of the chain."""
+        return self.blocks[-1]
+
+    @property
+    def height(self) -> int:
+        """Distance of the tip from genesis (genesis alone has height 0)."""
+        return len(self.blocks) - 1
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    def __getitem__(self, index):
+        return self.blocks[index]
+
+    def block_ids(self) -> Tuple[str, ...]:
+        """The tuple of block ids along the chain."""
+        return tuple(b.block_id for b in self.blocks)
+
+    def non_genesis(self) -> Tuple[Block, ...]:
+        """The chain without the genesis block (the paper's ``f(bt)``)."""
+        return self.blocks[1:]
+
+    # -- prefix algebra ---------------------------------------------------
+
+    def is_prefix_of(self, other: "Chain") -> bool:
+        """The relation ``self ⊑ other``: ``self`` prefixes ``other``."""
+        if len(self) > len(other):
+            return False
+        return all(a.block_id == b.block_id for a, b in zip(self.blocks, other.blocks))
+
+    def comparable(self, other: "Chain") -> bool:
+        """Whether one of the two chains prefixes the other (Strong Prefix)."""
+        return self.is_prefix_of(other) or other.is_prefix_of(self)
+
+    def common_prefix(self, other: "Chain") -> "Chain":
+        """The maximal common prefix of the two chains (≥ genesis)."""
+        keep = 0
+        for a, b in zip(self.blocks, other.blocks):
+            if a.block_id != b.block_id:
+                break
+            keep += 1
+        return Chain(self.blocks[:keep])
+
+    def describe(self) -> str:
+        """Render the chain like the paper: ``b0 ⌢ 1 ⌢ 3 ⌢ 5``."""
+        return " ⌢ ".join(b.short() for b in self.blocks)

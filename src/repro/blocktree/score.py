@@ -1,0 +1,67 @@
+"""Score functions over blockchains (paper Section 3.1.2).
+
+``score : BC → ℕ`` is a *monotonic increasing* deterministic function:
+``score(bc ⌢ {b}) > score(bc)``.  The paper instantiates it as the chain
+height in every figure; Bitcoin-style systems use accumulated work.  The
+consistency criteria additionally use ``mcps``: the score of the maximal
+common prefix of two chains.
+
+By convention ``score({b0}) = s0`` — for the length score ``s0 = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocktree.chain import Chain
+
+__all__ = ["ScoreFunction", "LengthScore", "WorkScore", "mcps"]
+
+
+class ScoreFunction:
+    """Interface for monotonic chain scores.
+
+    Implementations must guarantee strict growth under extension; the
+    property-based tests in ``tests/test_score.py`` enforce this on random
+    chains for every registered implementation.
+    """
+
+    name: str = "score"
+
+    def __call__(self, chain: Chain) -> float:
+        raise NotImplementedError
+
+    @property
+    def genesis_score(self) -> float:
+        """``s0``: the score of the chain consisting only of ``b0``."""
+        return self(Chain.genesis())
+
+
+@dataclass
+class LengthScore(ScoreFunction):
+    """The chain height (the paper's running example: ``score = l``)."""
+
+    name: str = "length"
+
+    def __call__(self, chain: Chain) -> float:
+        return float(chain.height)
+
+
+@dataclass
+class WorkScore(ScoreFunction):
+    """Accumulated block weight — "the most computational work" (§5.1).
+
+    ``epsilon`` guards monotonicity when blocks may carry zero weight: each
+    block contributes at least ``epsilon``.
+    """
+
+    name: str = "work"
+    epsilon: float = 1e-9
+
+    def __call__(self, chain: Chain) -> float:
+        return sum(max(b.weight, self.epsilon) for b in chain.non_genesis())
+
+
+def mcps(chain_a: Chain, chain_b: Chain, score: ScoreFunction) -> float:
+    """``mcps(bc, bc′)``: the score of the maximal common prefix (§3.1.2)."""
+    return score(chain_a.common_prefix(chain_b))

@@ -1,0 +1,114 @@
+"""Selection functions ``f ∈ F : BT → BC`` (paper Section 3.1).
+
+``f(bt)`` picks one blockchain out of the BlockTree — "the longest chain
+or the heaviest chain used in some blockchain implementations".  The
+paper's figures break score ties lexicographically ("in case of equality,
+selects the largest based on the lexicographical order"); our
+implementations accept a pluggable tie-break and default to the paper's.
+
+Implementations:
+
+* :class:`LongestChain` — maximum height (Bitcoin's original rule with
+  unit weights; the paper's figures).
+* :class:`HeaviestChain` — maximum accumulated work (Bitcoin/Ethereum's
+  "most work" rule, §5.1/§5.2).
+* :class:`GHOSTSelection` — greedy heaviest-observed-subtree (Ethereum's
+  fork-choice per §5.2, citing Sompolinsky & Zohar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.blocktree.block import Block
+from repro.blocktree.chain import Chain
+from repro.blocktree.tree import BlockTree
+
+__all__ = [
+    "SelectionFunction",
+    "LongestChain",
+    "HeaviestChain",
+    "GHOSTSelection",
+    "lexicographic_max",
+]
+
+
+def lexicographic_max(candidates: list[Block]) -> Block:
+    """The paper's tie-break: the largest label/id in lexicographic order."""
+    return max(candidates, key=lambda b: (b.label or b.block_id))
+
+
+class SelectionFunction:
+    """Interface for ``f ∈ F``.
+
+    ``select`` returns the full chain including genesis (``read()`` in the
+    BT-ADT is exactly ``select``; the paper writes it ``{b0} ⌢ f(bt)``).
+    Determinism is required: the same tree must always select the same
+    chain — all tie-breaks are value-based, never identity- or time-based.
+    """
+
+    name: str = "f"
+
+    def select(self, tree: BlockTree) -> Chain:
+        raise NotImplementedError
+
+    def __call__(self, tree: BlockTree) -> Chain:
+        return self.select(tree)
+
+
+@dataclass
+class LongestChain(SelectionFunction):
+    """Select the leaf of maximum height, tie-broken lexicographically."""
+
+    name: str = "longest"
+    tiebreak: Callable[[list[Block]], Block] = field(default=lexicographic_max)
+
+    def select(self, tree: BlockTree) -> Chain:
+        leaves = tree.leaves()
+        best_height = max(tree.height(b.block_id) for b in leaves)
+        best = [b for b in leaves if tree.height(b.block_id) == best_height]
+        return tree.chain_to(self.tiebreak(best).block_id)
+
+
+@dataclass
+class HeaviestChain(SelectionFunction):
+    """Select the leaf of maximum cumulative chain weight (total work)."""
+
+    name: str = "heaviest"
+    tiebreak: Callable[[list[Block]], Block] = field(default=lexicographic_max)
+
+    def select(self, tree: BlockTree) -> Chain:
+        leaves = tree.leaves()
+        best_weight = max(tree.chain_weight(b.block_id) for b in leaves)
+        best = [
+            b for b in leaves if tree.chain_weight(b.block_id) == best_weight
+        ]
+        return tree.chain_to(self.tiebreak(best).block_id)
+
+
+@dataclass
+class GHOSTSelection(SelectionFunction):
+    """Greedy Heaviest-Observed SubTree walk from the root.
+
+    At every block, descend into the child whose *subtree* weight is
+    largest (ties broken lexicographically) until a leaf is reached.  This
+    differs from :class:`HeaviestChain` exactly when forks are bushy —
+    uncles pull selection toward their branch, which is the behaviour the
+    Ethereum mapping in §5.2 relies on.
+    """
+
+    name: str = "ghost"
+    tiebreak: Callable[[list[Block]], Block] = field(default=lexicographic_max)
+
+    def select(self, tree: BlockTree) -> Chain:
+        cursor = tree.genesis
+        while True:
+            children = list(tree.children(cursor.block_id))
+            if not children:
+                return tree.chain_to(cursor.block_id)
+            best_weight = max(tree.subtree_weight(c.block_id) for c in children)
+            best = [
+                c for c in children if tree.subtree_weight(c.block_id) == best_weight
+            ]
+            cursor = self.tiebreak(best)

@@ -1,0 +1,170 @@
+"""The BlockTree: a directed rooted tree of blocks (paper Section 3.1).
+
+``BlockTree`` is the mutable replica type used both by the BT-ADT state
+and by every protocol node in the network simulator.  It maintains, per
+block: parent/children maps, the height (distance to the root), the
+cumulative chain weight (for heaviest-chain selection) and the *subtree*
+weight (for GHOST).  All maintenance is incremental so appends are O(depth)
+at worst (subtree-weight updates walk to the root) and O(1) otherwise.
+
+A frozen snapshot (:meth:`BlockTree.freeze`) provides a hashable value for
+sequential-specification checking of the BT-ADT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.blocktree.block import GENESIS, Block
+from repro.blocktree.chain import Chain
+
+__all__ = ["BlockTree"]
+
+
+class BlockTree:
+    """A rooted tree of blocks with incremental weight bookkeeping.
+
+    The tree always contains the genesis block.  ``add_block`` refuses
+    blocks whose parent is absent (protocol nodes buffer such *orphans*
+    themselves — see :mod:`repro.protocols.base`) and is idempotent for
+    blocks already present.
+    """
+
+    def __init__(self, genesis: Block = GENESIS) -> None:
+        if not genesis.is_genesis:
+            raise ValueError("BlockTree root must be a genesis block")
+        self.genesis = genesis
+        self._blocks: Dict[str, Block] = {genesis.block_id: genesis}
+        self._children: Dict[str, List[str]] = {genesis.block_id: []}
+        self._height: Dict[str, int] = {genesis.block_id: 0}
+        self._chain_weight: Dict[str, float] = {genesis.block_id: 0.0}
+        self._subtree_weight: Dict[str, float] = {genesis.block_id: 0.0}
+        self._leaves: Set[str] = {genesis.block_id}
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, block_id: str) -> bool:
+        return block_id in self._blocks
+
+    def __len__(self) -> int:
+        """Number of blocks including genesis."""
+        return len(self._blocks)
+
+    def get(self, block_id: str) -> Block:
+        """Return the block with ``block_id`` (KeyError if absent)."""
+        return self._blocks[block_id]
+
+    def blocks(self) -> Iterator[Block]:
+        """Iterate over all blocks (insertion order)."""
+        return iter(self._blocks.values())
+
+    def children(self, block_id: str) -> Tuple[Block, ...]:
+        """The direct children of ``block_id`` in insertion order."""
+        return tuple(self._blocks[c] for c in self._children[block_id])
+
+    def height(self, block_id: str) -> int:
+        """Distance of ``block_id`` from the root."""
+        return self._height[block_id]
+
+    def chain_weight(self, block_id: str) -> float:
+        """Total weight of the path root→``block_id`` (excluding genesis)."""
+        return self._chain_weight[block_id]
+
+    def subtree_weight(self, block_id: str) -> float:
+        """Total weight of the subtree rooted at ``block_id`` (GHOST metric)."""
+        return self._subtree_weight[block_id]
+
+    def leaves(self) -> Tuple[Block, ...]:
+        """All current leaves, in insertion order of their ids."""
+        return tuple(self._blocks[b] for b in sorted(self._leaves))
+
+    def fork_degree(self, block_id: str) -> int:
+        """Number of children of ``block_id`` — the number of forks from it."""
+        return len(self._children[block_id])
+
+    def max_fork_degree(self) -> int:
+        """The maximum fork degree over all blocks (k-fork coherence witness)."""
+        return max((len(v) for v in self._children.values()), default=0)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add_block(self, block: Block) -> bool:
+        """Insert ``block`` under its parent.
+
+        Returns ``True`` if the block was inserted, ``False`` if it was
+        already present.  Raises ``KeyError`` if the parent is unknown —
+        callers that receive blocks out of order must hold them back.
+        """
+        if block.block_id in self._blocks:
+            return False
+        if block.parent_id is None:
+            raise ValueError("cannot insert a second genesis block")
+        if block.parent_id not in self._blocks:
+            raise KeyError(f"parent {block.parent_id!r} not in tree")
+        parent_id = block.parent_id
+        self._blocks[block.block_id] = block
+        self._children[block.block_id] = []
+        self._children[parent_id].append(block.block_id)
+        self._height[block.block_id] = self._height[parent_id] + 1
+        self._chain_weight[block.block_id] = self._chain_weight[parent_id] + block.weight
+        self._subtree_weight[block.block_id] = block.weight
+        # Propagate the new weight up to the root (GHOST bookkeeping).
+        cursor = parent_id
+        while cursor is not None:
+            self._subtree_weight[cursor] += block.weight
+            cursor = self._blocks[cursor].parent_id
+        self._leaves.discard(parent_id)
+        self._leaves.add(block.block_id)
+        return True
+
+    def add_chain(self, chain: Chain) -> int:
+        """Insert every missing block of ``chain``; returns how many were new."""
+        added = 0
+        for block in chain.non_genesis():
+            if block.block_id not in self._blocks:
+                added += int(self.add_block(block))
+        return added
+
+    # -- chain extraction ---------------------------------------------------
+
+    def chain_to(self, block_id: str) -> Chain:
+        """The blockchain from genesis to ``block_id``."""
+        path: List[Block] = []
+        cursor: str | None = block_id
+        while cursor is not None:
+            block = self._blocks[cursor]
+            path.append(block)
+            cursor = block.parent_id
+        path.reverse()
+        return Chain(tuple(path))
+
+    # -- persistence ---------------------------------------------------------
+
+    def copy(self) -> "BlockTree":
+        """An independent copy of this tree (same Block objects)."""
+        clone = BlockTree(self.genesis)
+        clone._blocks = dict(self._blocks)
+        clone._children = {k: list(v) for k, v in self._children.items()}
+        clone._height = dict(self._height)
+        clone._chain_weight = dict(self._chain_weight)
+        clone._subtree_weight = dict(self._subtree_weight)
+        clone._leaves = set(self._leaves)
+        return clone
+
+    def freeze(self) -> Tuple[Tuple[str, str], ...]:
+        """A hashable snapshot: sorted ``(block_id, parent_id)`` edges."""
+        return tuple(
+            sorted(
+                (b.block_id, b.parent_id or "")
+                for b in self._blocks.values()
+                if not b.is_genesis
+            )
+        )
+
+    def describe(self, block_id: str | None = None, indent: int = 0) -> str:
+        """ASCII rendering of the tree (children indented under parents)."""
+        root = block_id or self.genesis.block_id
+        lines = [" " * indent + self._blocks[root].short()]
+        for child in self._children[root]:
+            lines.append(self.describe(child, indent + 2))
+        return "\n".join(lines)

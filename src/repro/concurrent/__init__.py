@@ -1,0 +1,68 @@
+"""Shared-memory concurrency substrate (paper Section 4.1).
+
+The paper places the two oracles in Herlihy's consensus hierarchy:
+
+* Θ_F,k=1 has consensus number ∞ (Theorem 4.2) — via a wait-free
+  implementation of Compare&Swap from ``consumeToken`` (Figures 9–10) and
+  Protocol A reducing Consensus to the oracle (Figure 11);
+* Θ_P has consensus number 1 (Theorem 4.3) — via a wait-free
+  implementation of its ``consumeToken`` from Atomic Snapshot (Figure 12).
+
+This subpackage provides linearizable shared objects with value-semantics
+state (:mod:`repro.concurrent.objects`), a step-level scheduler for
+programs expressed as explicit state machines
+(:mod:`repro.concurrent.scheduler`), an exhaustive interleaving explorer
+(:mod:`repro.concurrent.modelcheck`), the paper's reductions
+(:mod:`repro.concurrent.reductions`), Protocol A
+(:mod:`repro.concurrent.protocol_a`) and the register-only consensus
+counterexample (:mod:`repro.concurrent.register_consensus`).
+"""
+
+from repro.concurrent.objects import (
+    AtomicRegister,
+    AtomicSnapshotObject,
+    CASRegister,
+    ConsumeTokenObject,
+    OracleObject,
+    SharedObject,
+)
+from repro.concurrent.scheduler import (
+    Decide,
+    Done,
+    Invoke,
+    Program,
+    RandomScheduler,
+    RunResult,
+    System,
+)
+from repro.concurrent.modelcheck import ExplorationResult, explore
+from repro.concurrent.reductions import (
+    CASFromConsumeToken,
+    SnapshotConsumeToken,
+    cas_consensus_program,
+)
+from repro.concurrent.protocol_a import ProtocolA
+from repro.concurrent.register_consensus import NaiveRegisterConsensus
+
+__all__ = [
+    "SharedObject",
+    "AtomicRegister",
+    "CASRegister",
+    "AtomicSnapshotObject",
+    "ConsumeTokenObject",
+    "OracleObject",
+    "Program",
+    "Invoke",
+    "Decide",
+    "Done",
+    "System",
+    "RandomScheduler",
+    "RunResult",
+    "explore",
+    "ExplorationResult",
+    "CASFromConsumeToken",
+    "SnapshotConsumeToken",
+    "cas_consensus_program",
+    "ProtocolA",
+    "NaiveRegisterConsensus",
+]

@@ -1,0 +1,78 @@
+"""Register-only consensus attempts fail — the Θ_P separation experiment.
+
+Theorem 4.3 places the prodigal oracle at consensus number 1 by
+implementing it from Atomic Snapshot (Figure 12).  The other half of the
+separation — that consensus-number-1 objects cannot solve consensus for
+two processes — is the classic FLP/Herlihy impossibility, which no finite
+experiment can *prove*; what the library does instead (per the DESIGN.md
+substitution rule) is run the canonical attempts through the exhaustive
+model checker and exhibit the violating schedules their bivalence
+arguments predict.
+
+:class:`NaiveRegisterConsensus` is the textbook attempt: write your value
+to your own register, read the other's, decide deterministically from
+what you saw.  The explorer finds the split schedule (both read before
+both write, or one reads too early) on which the two processes decide
+differently — for *every* deterministic decision rule that satisfies
+validity, some interleaving disagrees, and the test suite sweeps several
+rules to illustrate the pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.concurrent.objects import AtomicRegister
+from repro.concurrent.scheduler import Decide, Done, Invoke, Program, System
+
+__all__ = ["NaiveRegisterConsensus", "build_register_consensus_system"]
+
+
+class NaiveRegisterConsensus(Program):
+    """Two-process consensus attempt from read/write registers.
+
+    Process ``index``: ``write(R[index], value)``; ``other ← read(R[1-index])``;
+    if ``other is None`` decide own value, else decide ``rule(value, other)``.
+    ``rule`` defaults to ``min`` — any deterministic symmetric rule admits
+    a disagreeing schedule, which the model checker finds.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        value: Any,
+        rule: Optional[Callable[[Any, Any], Any]] = None,
+    ) -> None:
+        self.index = index
+        self.value = value
+        self.rule = rule or min
+
+    def init(self) -> Any:
+        return ("begin",)
+
+    def step(self, local: Any, response: Any) -> Tuple[Any, Any]:
+        phase = local[0]
+        if phase == "begin":
+            return ("wrote",), Invoke(f"R{self.index}", "write", (self.value,))
+        if phase == "wrote":
+            return ("read",), Invoke(f"R{1 - self.index}", "read", ())
+        if phase == "read":
+            if response is None:
+                return ("decided",), Decide(self.value)
+            return ("decided",), Decide(self.rule(self.value, response))
+        return local, Done()
+
+
+def build_register_consensus_system(
+    v0: Any,
+    v1: Any,
+    rule: Optional[Callable[[Any, Any], Any]] = None,
+) -> System:
+    """Two :class:`NaiveRegisterConsensus` processes over two registers."""
+    return System(
+        objects={"R0": AtomicRegister(), "R1": AtomicRegister()},
+        programs={
+            "p0": NaiveRegisterConsensus(0, v0, rule),
+            "p1": NaiveRegisterConsensus(1, v1, rule),
+        },
+    )

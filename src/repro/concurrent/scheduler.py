@@ -1,0 +1,261 @@
+"""Step-level execution of concurrent programs over shared objects.
+
+Programs are explicit state machines so that both random adversarial
+scheduling and exhaustive interleaving exploration can drive them:
+
+* ``init()`` returns the initial (hashable) local state;
+* ``step(local, response)`` consumes the response of the previously
+  issued operation (``None`` at the first step) and returns the new local
+  state plus the next *action*: an :class:`Invoke` of a shared-object
+  operation, a :class:`Decide` (records a decision and keeps stepping) or
+  :class:`Done`.
+
+A scheduler turn for a process = deliver the pending response and run one
+``step``.  Invocations themselves execute atomically against the object
+when the process is next scheduled, so every interleaving of atomic
+object operations is reachable — the standard model for wait-free
+computation.
+
+Wait-freedom in this model: a program must reach ``Done`` within a
+bounded number of *its own* steps regardless of scheduling, which the
+explorer enforces with a per-process step bound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.concurrent.objects import SharedObject
+
+__all__ = [
+    "Invoke",
+    "Decide",
+    "Done",
+    "Program",
+    "System",
+    "RunResult",
+    "RandomScheduler",
+]
+
+
+@dataclass(frozen=True)
+class Invoke:
+    """Next action: invoke ``obj.op(*args)`` atomically."""
+
+    obj: str
+    op: str
+    args: Tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class Decide:
+    """Next action: record ``value`` as this process's decision."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Done:
+    """Next action: halt this process."""
+
+
+class Program:
+    """Interface for model-checkable processes (see module docstring)."""
+
+    def init(self) -> Any:
+        """The initial local state (must be hashable)."""
+        raise NotImplementedError
+
+    def step(self, local: Any, response: Any) -> Tuple[Any, Any]:
+        """Advance one step; returns ``(new_local, action)``."""
+        raise NotImplementedError
+
+
+@dataclass
+class _ProcState:
+    """Runtime bookkeeping for one process."""
+
+    program: Program
+    local: Any
+    pending: Any  # Invoke awaiting execution, or None before first step
+    started: bool = False
+    done: bool = False
+    crashed: bool = False
+    decision: Any = None
+    decided: bool = False
+    decide_count: int = 0
+    steps: int = 0
+
+
+@dataclass
+class RunResult:
+    """Outcome of a complete run.
+
+    ``decisions`` maps process name → decided value (only processes that
+    decided); ``decide_counts`` supports the Integrity check ("no correct
+    process decides twice"); ``schedule`` is the sequence of process names
+    in the order they were stepped (a replayable adversary).
+    """
+
+    decisions: Dict[str, Any]
+    decide_counts: Dict[str, int]
+    completed: Dict[str, bool]
+    crashed: Dict[str, bool]
+    schedule: List[str]
+    steps: int
+
+    def agreement(self) -> bool:
+        """All decided values are equal."""
+        values = list(self.decisions.values())
+        return all(v == values[0] for v in values) if values else True
+
+    def integrity(self) -> bool:
+        """No process decided more than once."""
+        return all(c <= 1 for c in self.decide_counts.values())
+
+    def all_correct_decided(self) -> bool:
+        """Every non-crashed process decided (Termination)."""
+        return all(
+            p in self.decisions or self.crashed.get(p, False)
+            for p in self.completed
+        )
+
+
+class System:
+    """A set of shared objects plus named processes."""
+
+    def __init__(self, objects: Dict[str, SharedObject], programs: Dict[str, Program]) -> None:
+        self.objects = objects
+        self.procs: Dict[str, _ProcState] = {
+            name: _ProcState(program=prog, local=None, pending=None)
+            for name, prog in programs.items()
+        }
+
+    def live_procs(self) -> List[str]:
+        """Processes that can still be stepped."""
+        return [
+            n for n, p in self.procs.items() if not p.done and not p.crashed
+        ]
+
+    def crash(self, name: str) -> None:
+        """Crash-stop ``name``: it takes no further steps."""
+        self.procs[name].crashed = True
+
+    def step_proc(self, name: str) -> None:
+        """Run one scheduler turn for process ``name``."""
+        proc = self.procs[name]
+        if proc.done or proc.crashed:
+            return
+        if not proc.started:
+            proc.local = proc.program.init()
+            proc.started = True
+            response = None
+        elif isinstance(proc.pending, Invoke):
+            inv = proc.pending
+            response = self.objects[inv.obj].apply(inv.op, inv.args)
+        else:
+            response = None
+        proc.steps += 1
+        local, action = proc.program.step(proc.local, response)
+        proc.local = local
+        # A program may Decide and then continue; loop Decides inline so a
+        # decision is never "pending" across scheduler turns.
+        while isinstance(action, Decide):
+            proc.decision = action.value
+            proc.decided = True
+            proc.decide_count += 1
+            local, action = proc.program.step(proc.local, Decide(action.value))
+            proc.local = local
+        if isinstance(action, Done):
+            proc.done = True
+            proc.pending = None
+        elif isinstance(action, Invoke):
+            proc.pending = action
+        else:
+            raise TypeError(f"program returned invalid action {action!r}")
+
+    # -- state capture for exhaustive exploration ------------------------------
+
+    def capture(self) -> Any:
+        """Hashable global state: object snapshots + process states."""
+        objs = tuple(
+            (name, obj.snapshot()) for name, obj in sorted(self.objects.items())
+        )
+        procs = tuple(
+            (
+                name,
+                p.local,
+                p.pending,
+                p.started,
+                p.done,
+                p.crashed,
+                p.decision,
+                p.decided,
+                p.decide_count,
+                p.steps,
+            )
+            for name, p in sorted(self.procs.items())
+        )
+        return (objs, procs)
+
+    def restore(self, state: Any) -> None:
+        """Reset the whole system to a captured state."""
+        objs, procs = state
+        for name, snap in objs:
+            self.objects[name].restore(snap)
+        for name, local, pending, started, done, crashed, decision, decided, dc, steps in procs:
+            p = self.procs[name]
+            p.local = local
+            p.pending = pending
+            p.started = started
+            p.done = done
+            p.crashed = crashed
+            p.decision = decision
+            p.decided = decided
+            p.decide_count = dc
+            p.steps = steps
+
+    def result(self, schedule: Optional[List[str]] = None, steps: int = 0) -> RunResult:
+        """Summarize the current system state as a :class:`RunResult`."""
+        return RunResult(
+            decisions={n: p.decision for n, p in self.procs.items() if p.decided},
+            decide_counts={n: p.decide_count for n, p in self.procs.items()},
+            completed={n: p.done for n, p in self.procs.items()},
+            crashed={n: p.crashed for n, p in self.procs.items()},
+            schedule=schedule or [],
+            steps=steps,
+        )
+
+
+class RandomScheduler:
+    """Seeded adversarial scheduler: random interleavings, optional crashes.
+
+    ``crash_at`` maps process name → global step index at which it
+    crash-stops; crashes model the ``f < n`` crash-failure environment of
+    Section 4.1.
+    """
+
+    def __init__(self, seed: int, max_steps: int = 100_000) -> None:
+        self.rng = random.Random(seed)
+        self.max_steps = max_steps
+
+    def run(self, system: System, crash_at: Optional[Dict[str, int]] = None) -> RunResult:
+        """Drive ``system`` until every live process is done (or bound hit)."""
+        crash_at = crash_at or {}
+        schedule: List[str] = []
+        for step in range(self.max_steps):
+            for name, when in crash_at.items():
+                if step == when:
+                    system.crash(name)
+            live = system.live_procs()
+            if not live:
+                return system.result(schedule, step)
+            choice = self.rng.choice(live)
+            schedule.append(choice)
+            system.step_proc(choice)
+        raise RuntimeError(
+            f"run did not quiesce within {self.max_steps} steps — "
+            "non-wait-free program or livelock"
+        )

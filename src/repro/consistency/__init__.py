@@ -1,0 +1,61 @@
+"""Consistency criteria over BT-ADT histories (paper Section 3.1.2).
+
+A consistency criterion ``C : T → P(H)`` (Definition 2.5) maps an ADT to
+its set of admissible concurrent histories.  This subpackage implements
+the four properties of the BT Strong Consistency criterion
+(Definition 3.2), the Eventual Prefix property (Definition 3.3), the
+composed **SC** and **EC** criteria (Definitions 3.2/3.4), k-Fork
+Coherence (Definition 3.9), and the hierarchy experiments of
+Theorems 3.1/3.3/3.4.
+
+Safety clauses (Block Validity, Local Monotonic Read, Strong Prefix,
+k-Fork Coherence) are decided exactly on finite histories.  The liveness
+clauses (Ever-Growing Tree, Eventual Prefix) are decided under the
+continuation semantics of :mod:`repro.histories.continuation`; without a
+continuation declaration a finite history is complete and satisfies them
+vacuously.
+"""
+
+from repro.consistency.properties import (
+    PropertyCheck,
+    check_block_validity,
+    check_eventual_prefix,
+    check_ever_growing_tree,
+    check_k_fork_coherence,
+    check_local_monotonic_read,
+    check_strong_prefix,
+    program_order_reaches,
+)
+from repro.consistency.criteria import (
+    BTEventualConsistency,
+    BTStrongConsistency,
+    CriterionReport,
+)
+from repro.consistency.hierarchy import (
+    HierarchyEdge,
+    hierarchy_edges,
+    random_refinement_history,
+)
+from repro.consistency.embedding import LinearizationResult, linearize_bt_history
+from repro.consistency.monitor import ConsistencyMonitor, Violation
+
+__all__ = [
+    "PropertyCheck",
+    "check_block_validity",
+    "check_local_monotonic_read",
+    "check_strong_prefix",
+    "check_ever_growing_tree",
+    "check_eventual_prefix",
+    "check_k_fork_coherence",
+    "program_order_reaches",
+    "CriterionReport",
+    "BTStrongConsistency",
+    "BTEventualConsistency",
+    "HierarchyEdge",
+    "hierarchy_edges",
+    "random_refinement_history",
+    "LinearizationResult",
+    "linearize_bt_history",
+    "ConsistencyMonitor",
+    "Violation",
+]

@@ -1,0 +1,187 @@
+"""Sequential embedding: is a concurrent history linearizable w.r.t. BT-ADT?
+
+Section 2 defines the sequential specification ``L(T)``; a concurrent
+history is *linearizable* when its operations can be totally ordered,
+respecting real-time precedence (a response before an invocation stays
+before), such that the resulting word lies in ``L(BT-ADT)``.
+
+Because the formal ``append`` of Definition 3.1 always attaches at the
+tip of the selected chain, sequential BT-ADT executions never fork — so
+linearizability here captures exactly the fork-free behaviour that
+Strong Prefix describes.  The [6]/[20] discussion in the paper's related
+work (eventual consistency vs. linearizability of distributed ledgers)
+becomes checkable: SC-passing refinement histories linearize, Bitcoin's
+forked histories do not.
+
+The checker is the classic Wing–Gong search: repeatedly pick a *minimal*
+remaining operation (one that no other remaining operation precedes in
+real time), simulate it on a replica BlockTree, and backtrack on output
+mismatch.  Memoization is on the set of consumed operations (the replica
+state is a function of the consumed appends).  Exponential in the worst
+case — intended for the small-to-medium histories the experiments judge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.blocktree.block import Block
+from repro.blocktree.selection import SelectionFunction
+from repro.blocktree.tree import BlockTree
+from repro.histories.events import OpRecord
+from repro.histories.history import ConcurrentHistory
+
+__all__ = ["LinearizationResult", "linearize_bt_history"]
+
+
+@dataclass(frozen=True)
+class LinearizationResult:
+    """Outcome of a linearization search.
+
+    ``ok`` — a witness order was found; ``order`` lists op ids in
+    linearization order.  ``decided`` is False when the node budget was
+    exhausted before the search completed (verdict unknown).
+    """
+
+    ok: bool
+    decided: bool = True
+    order: Tuple[int, ...] = ()
+    reason: str = ""
+
+
+def _block_registry(history: ConcurrentHistory) -> Dict[str, Block]:
+    """All blocks appearing in read results, keyed by id."""
+    registry: Dict[str, Block] = {}
+    for read in history.reads():
+        for block in history.returned_chain(read).non_genesis():
+            registry[block.block_id] = block
+    return registry
+
+
+def linearize_bt_history(
+    history: ConcurrentHistory,
+    selection: SelectionFunction,
+    max_nodes: int = 100_000,
+    real_time: bool = True,
+) -> LinearizationResult:
+    """Search for a linearization of ``history`` into ``L(BT-ADT)``.
+
+    Considers completed reads and *successful* appends.  An append is
+    simulated formally: it may only be linearized at a point where its
+    recorded parent equals the tip of the currently selected chain (the
+    Definition 3.1 attachment rule); a read must return exactly the
+    currently selected chain.
+
+    ``real_time=True`` checks **linearizability** (a response before an
+    invocation must stay before); ``real_time=False`` relaxes to
+    **sequential consistency** — only each process's own order is
+    preserved, so cross-process stale reads become explainable.  The
+    related-work ledgers of [6] distinguish exactly these two levels.
+    """
+    registry = _block_registry(history)
+    ops: List[OpRecord] = []
+    for op in history.reads():
+        ops.append(op)
+    for op in history.successful_appends():
+        ops.append(op)
+    ops.sort(key=lambda o: o.inv_eid)
+    if not ops:
+        return LinearizationResult(ok=True)
+
+    intervals = {op.op_id: (op.inv_eid, op.resp_eid) for op in ops}
+    by_id = {op.op_id: op for op in ops}
+
+    nodes_visited = 0
+    seen_states: Set[Tuple[FrozenSet[int], Tuple]] = set()
+
+    def minimal_ops(remaining: FrozenSet[int]) -> List[int]:
+        """Candidate next operations.
+
+        Linearizability: ops not real-time-preceded by another remaining
+        op.  Sequential consistency: the earliest remaining op of each
+        process (process order is the only constraint).
+        """
+        result = []
+        if real_time:
+            for oid in remaining:
+                inv, _ = intervals[oid]
+                if all(
+                    intervals[other][1] > inv for other in remaining if other != oid
+                ):
+                    result.append(oid)
+        else:
+            first_of_proc: Dict[str, int] = {}
+            for oid in remaining:
+                proc = by_id[oid].proc
+                best = first_of_proc.get(proc)
+                if best is None or intervals[oid][0] < intervals[best][0]:
+                    first_of_proc[proc] = oid
+            result = list(first_of_proc.values())
+        return sorted(result, key=lambda o: intervals[o][0])
+
+    def simulate(op: OpRecord, tree: BlockTree) -> Optional[BlockTree]:
+        """Apply ``op`` formally; None on output/semantics mismatch."""
+        if op.name == "read":
+            expected = history.returned_chain(op)
+            actual = selection.select(tree)
+            if expected.block_ids() != actual.block_ids():
+                return None
+            return tree
+        # append: recorded parent must be the selected tip right now.
+        block_id = str(op.args[0])
+        block = registry.get(block_id)
+        if block is None:
+            # The block never shows up in a read; accept it only when it
+            # extends the current tip (we know its parent from the args).
+            parent_id = str(op.args[1]) if len(op.args) > 1 else None
+            if parent_id != selection.select(tree).tip.block_id:
+                return None
+            return tree  # it can never influence later reads: skip insert
+        tip = selection.select(tree).tip
+        if block.block_id == tip.block_id:
+            # Replicated echo of an already-linearized append (consensus
+            # protocols record one append per committing replica): a no-op
+            # as long as the block is still the tip.
+            return tree
+        if block.parent_id != tip.block_id:
+            return None
+        new_tree = tree.copy()
+        new_tree.add_block(block)
+        return new_tree
+
+    def dfs(remaining: FrozenSet[int], tree: BlockTree, order: List[int]) -> Optional[bool]:
+        nonlocal nodes_visited
+        if not remaining:
+            return True
+        key = (remaining, tree.freeze())
+        if key in seen_states:
+            return False
+        seen_states.add(key)
+        nodes_visited += 1
+        if nodes_visited > max_nodes:
+            return None  # budget exhausted
+        for oid in minimal_ops(remaining):
+            new_tree = simulate(by_id[oid], tree)
+            if new_tree is None:
+                continue
+            order.append(oid)
+            verdict = dfs(remaining - {oid}, new_tree, order)
+            if verdict:
+                return True
+            order.pop()
+            if verdict is None:
+                return None
+        return False
+
+    order: List[int] = []
+    verdict = dfs(frozenset(intervals), BlockTree(), order)
+    if verdict is None:
+        return LinearizationResult(
+            ok=False, decided=False, reason=f"budget of {max_nodes} nodes exhausted"
+        )
+    if verdict:
+        return LinearizationResult(ok=True, order=tuple(order))
+    return LinearizationResult(
+        ok=False, reason="no linearization respects real-time order and L(BT-ADT)"
+    )

@@ -1,0 +1,160 @@
+"""Online consistency monitoring: judge safety properties as events arrive.
+
+The batch checkers of :mod:`repro.consistency.properties` examine a
+complete history; a deployed system wants violations flagged *when they
+happen*.  :class:`ConsistencyMonitor` consumes read/append operations one
+at a time and maintains just enough state to decide the three safety
+clauses incrementally:
+
+* **Block Validity** — a set of appended block ids; a read returning an
+  unknown block violates immediately.
+* **Local Monotonic Read** — the last read score per process.
+* **Strong Prefix** — a set of pairwise-comparable chains is totally
+  ordered by ``⊑``, so it suffices to keep the current maximum ``M``:
+  a new chain ``C`` keeps the invariant iff ``C ⊑ M`` (two prefixes of
+  ``M`` are always mutually comparable) or ``M ⊑ C`` (then ``C`` becomes
+  the new maximum).  O(|C|) per read instead of O(reads²).
+* **k-Fork Coherence** — distinct successful children per holder.
+
+The monitor is *sound and complete* w.r.t. the batch safety checkers on
+the same operation stream — property-tested in
+``tests/test_monitor.py`` by replaying random refinement histories both
+ways.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.blocktree.chain import Chain
+from repro.blocktree.score import ScoreFunction
+
+__all__ = ["Violation", "ConsistencyMonitor"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One safety violation flagged by the monitor."""
+
+    property_name: str
+    sequence: int
+    proc: str
+    detail: str
+
+
+class ConsistencyMonitor:
+    """Incremental safety checking over a stream of BT-ADT operations.
+
+    Parameters
+    ----------
+    score:
+        The chain score used for Local Monotonic Read.
+    k:
+        Fork cap for k-Fork Coherence (``math.inf`` disables the check).
+    track_strong_prefix:
+        Strong Prefix is an SC-only clause; disable it when monitoring a
+        system that only promises eventual consistency.
+    """
+
+    def __init__(
+        self,
+        score: ScoreFunction,
+        k: float = math.inf,
+        track_strong_prefix: bool = True,
+    ) -> None:
+        self.score = score
+        self.k = k
+        self.track_strong_prefix = track_strong_prefix
+        self.violations: List[Violation] = []
+        self._sequence = 0
+        self._appended: Set[str] = set()
+        self._children: Dict[str, Set[str]] = {}
+        self._last_score: Dict[str, float] = {}
+        self._max_chain: Optional[Chain] = None
+
+    # -- event intake ------------------------------------------------------------
+
+    def on_append(self, proc: str, block_id: str, parent_id: str, success: bool) -> None:
+        """Feed one completed append operation."""
+        self._sequence += 1
+        self._appended.add(block_id)
+        if not success or self.k == math.inf:
+            return
+        bucket = self._children.setdefault(parent_id, set())
+        bucket.add(block_id)
+        if len(bucket) > self.k:
+            self._flag(
+                "k-fork-coherence",
+                proc,
+                f"holder {parent_id[:12]} now has {len(bucket)} children (> k={self.k})",
+            )
+
+    def on_read(self, proc: str, chain: Chain) -> None:
+        """Feed one completed read operation returning ``chain``."""
+        self._sequence += 1
+        for block in chain.non_genesis():
+            if block.block_id not in self._appended:
+                self._flag(
+                    "block-validity",
+                    proc,
+                    f"read returned {block.short()} with no prior append",
+                )
+                break
+        s = self.score(chain)
+        previous = self._last_score.get(proc)
+        if previous is not None and s < previous:
+            self._flag(
+                "local-monotonic-read",
+                proc,
+                f"score regressed {previous} → {s}",
+            )
+        self._last_score[proc] = s
+        if self.track_strong_prefix:
+            self._check_strong_prefix(proc, chain)
+
+    def _check_strong_prefix(self, proc: str, chain: Chain) -> None:
+        if self._max_chain is None or self._max_chain.is_prefix_of(chain):
+            self._max_chain = chain
+            return
+        if not chain.is_prefix_of(self._max_chain):
+            self._flag(
+                "strong-prefix",
+                proc,
+                f"[{chain.describe()}] diverges from [{self._max_chain.describe()}]",
+            )
+            # Adopt the higher-scoring branch as the new reference so that
+            # subsequent reads are judged against the surviving branch.
+            if self.score(chain) > self.score(self._max_chain):
+                self._max_chain = chain
+
+    def _flag(self, name: str, proc: str, detail: str) -> None:
+        self.violations.append(
+            Violation(property_name=name, sequence=self._sequence, proc=proc, detail=detail)
+        )
+
+    # -- results -------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """Whether no safety violation has been observed so far."""
+        return not self.violations
+
+    def first_violation(self) -> Optional[Violation]:
+        """The earliest violation, if any."""
+        return self.violations[0] if self.violations else None
+
+    def violated_properties(self) -> Set[str]:
+        """The names of all properties violated so far."""
+        return {v.property_name for v in self.violations}
+
+    def replay_history(self, history) -> "ConsistencyMonitor":
+        """Feed a recorded history through the monitor (in event order)."""
+        for op in history.operations():
+            if op.name == "read" and op.complete:
+                self.on_read(op.proc, history.returned_chain(op))
+            elif op.name == "append" and op.complete:
+                parent = str(op.args[1]) if len(op.args) > 1 else ""
+                self.on_append(op.proc, str(op.args[0]), parent, op.result is True)
+        return self

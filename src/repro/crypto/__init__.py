@@ -1,0 +1,37 @@
+"""Cryptographic substrate for the protocol simulations.
+
+The paper abstracts block creation behind the token oracle; the concrete
+systems of Table 1 instantiate it with proof-of-work (Bitcoin, Ethereum,
+ByzCoin, PeerCensus) or cryptographic sortition (Algorand).  This
+subpackage provides those mechanisms in deterministic, dependency-free
+form:
+
+* :mod:`repro.crypto.hashing` — SHA-256 wrappers and difficulty targets.
+* :mod:`repro.crypto.pow` — hash-preimage proof-of-work (mine/verify).
+* :mod:`repro.crypto.merkle` — Merkle trees for block payload commitment.
+* :mod:`repro.crypto.vrf` — a simulated verifiable random function and
+  Algorand-style stake-weighted sortition.
+* :mod:`repro.crypto.signatures` — simulated signatures with a registry
+  acting as the PKI (adequate for simulation: unforgeable unless the
+  signing seed is known, verifiable by anyone holding the registry).
+"""
+
+from repro.crypto.hashing import hash_hex, hash_to_unit, leading_zero_bits, meets_difficulty
+from repro.crypto.pow import PoWPuzzle, PoWSolution
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.vrf import VRFKey, sortition_weight
+from repro.crypto.signatures import KeyPair, SignatureRegistry
+
+__all__ = [
+    "hash_hex",
+    "hash_to_unit",
+    "leading_zero_bits",
+    "meets_difficulty",
+    "PoWPuzzle",
+    "PoWSolution",
+    "MerkleTree",
+    "VRFKey",
+    "sortition_weight",
+    "KeyPair",
+    "SignatureRegistry",
+]

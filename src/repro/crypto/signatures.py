@@ -1,0 +1,68 @@
+"""Simulated digital signatures with a registry PKI.
+
+Protocol models need authenticated channels and signed votes (PBFT
+certificates, BA* vote counting).  A real scheme is unnecessary in a
+closed simulation; instead a signature is ``H(secret_seed, message)`` and
+the :class:`SignatureRegistry` — the simulated PKI that every honest node
+holds — verifies by recomputation.  Unforgeability holds against
+simulated adversaries that do not know other parties' seeds, which is
+exactly the Byzantine model the protocol tests use (a Byzantine node may
+equivocate with its *own* key but cannot forge others').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.crypto.hashing import hash_hex
+
+__all__ = ["KeyPair", "Signature", "SignatureRegistry"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A (simulated) signature over a message by ``signer``."""
+
+    signer: str
+    digest: str
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A signing key: owner name plus secret seed."""
+
+    owner: str
+    seed: int
+
+    def sign(self, *message: Any) -> Signature:
+        """Sign ``message``."""
+        return Signature(
+            signer=self.owner,
+            digest=hash_hex("sig", self.seed, self.owner, *message),
+        )
+
+
+@dataclass
+class SignatureRegistry:
+    """The simulated PKI: maps owner → keypair, verifies signatures."""
+
+    keys: Dict[str, KeyPair] = field(default_factory=dict)
+
+    def register(self, owner: str, seed: int) -> KeyPair:
+        """Create and register a keypair for ``owner``."""
+        kp = KeyPair(owner=owner, seed=seed)
+        self.keys[owner] = kp
+        return kp
+
+    def verify(self, signature: Signature, *message: Any) -> bool:
+        """Whether ``signature`` is valid for ``message`` under its signer's key."""
+        kp = self.keys.get(signature.signer)
+        if kp is None:
+            return False
+        return signature.digest == hash_hex("sig", kp.seed, kp.owner, *message)
+
+    @staticmethod
+    def quorum(signatures, threshold: int) -> bool:
+        """Whether ``signatures`` contains ≥ ``threshold`` distinct signers."""
+        return len({s.signer for s in signatures}) >= threshold

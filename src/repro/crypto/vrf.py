@@ -1,0 +1,73 @@
+"""Simulated verifiable random functions and cryptographic sortition.
+
+Algorand (§5.4) selects block proposers and committee members by
+evaluating a VRF on the round seed, weighted by stake.  We simulate a VRF
+with the SHA-256 PRF: ``value = H(sk_seed, input)`` mapped to ``[0,1)``,
+with the "proof" being the hash itself; verification recomputes it from
+the registered seed.  This gives exactly the properties the simulation
+needs — determinism per key, uniformity, and public verifiability inside
+the simulated PKI — without real elliptic-curve machinery.
+
+:func:`sortition_weight` implements threshold sortition: a process with
+stake fraction ``α`` and VRF value ``u`` wins ``j`` committee seats where
+``j`` is the largest integer such that ``u`` falls below the binomial
+tail — simplified here to the common "u < 1 - (1 - τ/W)^w" success test
+plus a priority value, which preserves the selection *distribution shape*
+(selection probability proportional to stake; highest priority proposes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro._util import prf_unit
+from repro.crypto.hashing import hash_hex
+
+__all__ = ["VRFKey", "VRFOutput", "sortition_weight"]
+
+
+@dataclass(frozen=True)
+class VRFOutput:
+    """A VRF evaluation: uniform value plus its (simulated) proof."""
+
+    value: float
+    proof: str
+
+
+@dataclass(frozen=True)
+class VRFKey:
+    """A simulated VRF keypair identified by its secret seed."""
+
+    seed: int
+    owner: str
+
+    def evaluate(self, *message: Any) -> VRFOutput:
+        """Evaluate the VRF on ``message``."""
+        proof = hash_hex("vrf", self.seed, self.owner, *message)
+        value = int(proof[:16], 16) / float(1 << 64)
+        return VRFOutput(value=value, proof=proof)
+
+    def verify(self, output: VRFOutput, *message: Any) -> bool:
+        """Re-derive the proof; anyone holding the registry can check."""
+        return output.proof == hash_hex("vrf", self.seed, self.owner, *message)
+
+
+def sortition_weight(
+    vrf_value: float, stake_fraction: float, expected_selected: float
+) -> Tuple[bool, float]:
+    """Threshold sortition: is this process selected, and with what priority?
+
+    ``expected_selected`` is the target committee size as a fraction of
+    total stake-weight (τ/W in Algorand's notation).  Selection
+    probability is ``1 - (1 - p)^(stake)``-shaped; we use the standard
+    single-draw approximation ``vrf_value < stake_fraction *
+    expected_selected`` (clamped to 1), preserving proportional-to-stake
+    selection.  Priority is a deterministic function of the VRF value so
+    the "highest priority member proposes" rule is reproducible.
+    """
+    threshold = min(1.0, stake_fraction * expected_selected)
+    selected = vrf_value < threshold
+    priority = 1.0 - vrf_value  # larger is better, deterministic
+    return selected, priority

@@ -1,0 +1,98 @@
+"""Recorder producing :class:`~repro.histories.history.ConcurrentHistory`.
+
+Every simulator and example in the library records BT-ADT operations and
+replica events through this class.  Event ids are handed out in call
+order, so the recorder must be driven in global-time order — which the
+discrete-event simulator guarantees by construction, and direct use in
+tests guarantees trivially.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.histories.continuation import ContinuationModel
+from repro.histories.events import Event, EventKind
+from repro.histories.history import ConcurrentHistory
+
+__all__ = ["HistoryRecorder"]
+
+
+class HistoryRecorder:
+    """Incremental builder of concurrent histories.
+
+    ``begin``/``end`` bracket a (possibly overlapping) operation;
+    ``instant`` records the §4.2 replica events whose invocation and
+    response coincide.  ``history()`` may be called at any point; it
+    snapshots the events recorded so far.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._next_eid = 0
+        self._next_op = 0
+
+    def _emit(
+        self,
+        proc: str,
+        kind: EventKind,
+        op_id: int,
+        op_name: str,
+        args: Tuple[Any, ...],
+        result: Any,
+        time: float,
+    ) -> Event:
+        event = Event(
+            eid=self._next_eid,
+            proc=proc,
+            kind=kind,
+            op_id=op_id,
+            op_name=op_name,
+            args=args,
+            result=result,
+            time=time,
+        )
+        self._next_eid += 1
+        self._events.append(event)
+        return event
+
+    def begin(self, proc: str, op_name: str, args: Tuple[Any, ...] = (), time: float = 0.0) -> int:
+        """Record an invocation event; returns the operation id."""
+        op_id = self._next_op
+        self._next_op += 1
+        self._emit(proc, EventKind.INVOCATION, op_id, op_name, args, None, time)
+        return op_id
+
+    def end(self, proc: str, op_id: int, op_name: str, result: Any, time: float = 0.0) -> None:
+        """Record the response event of operation ``op_id``."""
+        self._emit(proc, EventKind.RESPONSE, op_id, op_name, (), result, time)
+
+    def instant(
+        self, proc: str, op_name: str, args: Tuple[Any, ...] = (), result: Any = None,
+        time: float = 0.0,
+    ) -> int:
+        """Record an instantaneous operation (send/receive/update)."""
+        op_id = self._next_op
+        self._next_op += 1
+        self._emit(proc, EventKind.INVOCATION, op_id, op_name, args, None, time)
+        self._emit(proc, EventKind.RESPONSE, op_id, op_name, (), result, time)
+        return op_id
+
+    def record_read(self, proc: str, chain, time: float = 0.0) -> int:
+        """Convenience: a complete ``read()`` returning ``chain``."""
+        op_id = self.begin(proc, "read", (), time)
+        self.end(proc, op_id, "read", chain, time)
+        return op_id
+
+    def record_append(self, proc: str, block_id: str, ok: bool, time: float = 0.0) -> int:
+        """Convenience: a complete ``append(b)`` with boolean outcome."""
+        op_id = self.begin(proc, "append", (block_id,), time)
+        self.end(proc, op_id, "append", ok, time)
+        return op_id
+
+    def history(self, continuation: ContinuationModel | None = None) -> ConcurrentHistory:
+        """Snapshot the recorded events into a history."""
+        return ConcurrentHistory(events=list(self._events), continuation=continuation)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,87 @@
+"""Events and operation records of concurrent histories (Definition 2.4).
+
+``E`` contains invocation and response events; ``Λ`` associates events to
+operations.  We also record the §4.2 replica-level events — ``send``,
+``receive`` and ``update`` — as *instantaneous* operations (their
+invocation and response coincide), which is how Definition 4.2 restricts
+the event universe of message-passing executions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+__all__ = ["EventKind", "Event", "OpRecord"]
+
+
+class EventKind(enum.Enum):
+    """Whether an event is an operation invocation or its response."""
+
+    INVOCATION = "inv"
+    RESPONSE = "resp"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One event of ``E``.
+
+    ``eid`` is the global occurrence index: the recorder hands them out in
+    real-time order, so ``eid`` embeds the paper's fictional global clock
+    and the operation order ``≺`` can be decided by integer comparison.
+    ``time`` optionally carries the simulation timestamp for display.
+    """
+
+    eid: int
+    proc: str
+    kind: EventKind
+    op_id: int
+    op_name: str
+    args: Tuple[Any, ...] = ()
+    result: Any = None
+    time: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "inv" if self.kind is EventKind.INVOCATION else "rsp"
+        return f"[{self.eid}] {self.proc}.{self.op_name}{self.args} {tag} -> {self.result}"
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """A matched invocation/response pair — one operation of the history.
+
+    ``invocation`` and ``response`` may be the same event for the
+    instantaneous replica events (``send``/``receive``/``update``).
+    Pending operations (no response yet) have ``response=None``.
+    """
+
+    op_id: int
+    proc: str
+    name: str
+    args: Tuple[Any, ...]
+    invocation: Event
+    response: Optional[Event]
+
+    @property
+    def complete(self) -> bool:
+        """Whether the operation's response event exists."""
+        return self.response is not None
+
+    @property
+    def result(self) -> Any:
+        """The operation's returned value (``None`` while pending)."""
+        return self.response.result if self.response else None
+
+    @property
+    def inv_eid(self) -> int:
+        return self.invocation.eid
+
+    @property
+    def resp_eid(self) -> int:
+        if self.response is None:
+            raise ValueError(f"operation {self.op_id} is pending")
+        return self.response.eid
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.proc}.{self.name}{self.args} -> {self.result}"

@@ -1,0 +1,107 @@
+"""Channel synchrony models (paper §4.2).
+
+The paper distinguishes:
+
+* **asynchronous** channels — no upper bound on delivery delay;
+* **synchronous** channels — messages sent at ``t`` delivered by ``t+δ``;
+* **weakly synchronous** channels — after an unknown time ``τ`` (the GST
+  of Dwork–Lynch–Stockmeyer partial synchrony) the channels behave
+  synchronously.
+
+A channel model maps ``(src, dst, message, rng, now)`` to a delay or the
+:data:`DROP` sentinel.  Loss is layered on with :class:`LossyChannel`, so
+the Theorem 4.7 experiments ("even one dropped message breaks Eventual
+Prefix") are a wrapper away from any base synchrony.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Union
+
+__all__ = [
+    "DROP",
+    "ChannelModel",
+    "SynchronousChannel",
+    "AsynchronousChannel",
+    "WeaklySynchronousChannel",
+    "LossyChannel",
+]
+
+
+class _Drop:
+    """Sentinel: the channel loses this message."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "DROP"
+
+
+DROP = _Drop()
+
+
+class ChannelModel:
+    """Interface: decide the delivery delay (or loss) of one message."""
+
+    def delay(
+        self, src: str, dst: str, message: Any, rng: random.Random, now: float
+    ) -> Union[float, _Drop]:
+        raise NotImplementedError
+
+
+@dataclass
+class SynchronousChannel(ChannelModel):
+    """Delivery within ``[min_delay, delta]`` — synchronous channels."""
+
+    delta: float = 1.0
+    min_delay: float = 0.1
+
+    def delay(self, src, dst, message, rng, now):
+        return rng.uniform(self.min_delay, self.delta)
+
+
+@dataclass
+class AsynchronousChannel(ChannelModel):
+    """Exponential delays — unbounded, hence asynchronous.
+
+    The exponential tail means any finite bound is eventually exceeded;
+    ``mean`` tunes the congestion level.
+    """
+
+    mean: float = 1.0
+
+    def delay(self, src, dst, message, rng, now):
+        return rng.expovariate(1.0 / self.mean)
+
+
+@dataclass
+class WeaklySynchronousChannel(ChannelModel):
+    """Partial synchrony: arbitrary (exponential) before the GST ``gst``,
+    bounded by ``delta`` afterwards."""
+
+    gst: float = 50.0
+    delta: float = 1.0
+    pre_gst_mean: float = 5.0
+    min_delay: float = 0.1
+
+    def delay(self, src, dst, message, rng, now):
+        if now < self.gst:
+            return rng.expovariate(1.0 / self.pre_gst_mean)
+        return rng.uniform(self.min_delay, self.delta)
+
+
+@dataclass
+class LossyChannel(ChannelModel):
+    """Wrap a base channel with a message-loss predicate.
+
+    ``should_drop(src, dst, message, now)`` returning ``True`` loses the
+    message.  Used by the fault adversaries of :mod:`repro.net.faults`.
+    """
+
+    inner: ChannelModel
+    should_drop: Callable[[str, str, Any, float], bool]
+
+    def delay(self, src, dst, message, rng, now):
+        if self.should_drop(src, dst, message, now):
+            return DROP
+        return self.inner.delay(src, dst, message, rng, now)

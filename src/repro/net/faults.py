@@ -1,0 +1,73 @@
+"""Fault adversaries for the message-passing experiments.
+
+The necessity theorems of §4.3 are demonstrated by *constructing* the bad
+executions their proofs describe:
+
+* :class:`MessageDropAdversary` — drops messages matching a predicate
+  (e.g. "every copy of block b addressed to process k"), producing the
+  Lemma 4.5 / Theorem 4.7 histories in which R3/LRC-Agreement fail;
+* :class:`PartitionAdversary` — drops across a node partition until an
+  optional heal time, the "partition-prone" environment of [20].
+
+Both plug into :class:`~repro.net.channels.LossyChannel` as its
+``should_drop`` predicate and count what they dropped for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, FrozenSet, Optional, Tuple
+
+__all__ = ["MessageDropAdversary", "PartitionAdversary"]
+
+
+@dataclass
+class MessageDropAdversary:
+    """Drop messages satisfying ``matcher(src, dst, message)``.
+
+    ``budget`` optionally bounds the number of drops (-1 = unlimited), so
+    the "even only one message dropped" wording of Theorem 4.7 can be
+    tested literally with ``budget=1``.
+    """
+
+    matcher: Callable[[str, str, Any], bool]
+    budget: int = -1
+    dropped: int = 0
+
+    def __call__(self, src: str, dst: str, message: Any, now: float) -> bool:
+        if self.budget == 0:
+            return False
+        if self.matcher(src, dst, message):
+            self.dropped += 1
+            if self.budget > 0:
+                self.budget -= 1
+            return True
+        return False
+
+
+@dataclass
+class PartitionAdversary:
+    """Drop every message crossing a partition, until ``heal_at``.
+
+    ``groups`` is a tuple of disjoint process-name sets; messages within
+    one group pass, messages across groups are dropped while the
+    partition holds.  ``heal_at=None`` never heals.
+    """
+
+    groups: Tuple[FrozenSet[str], ...]
+    heal_at: Optional[float] = None
+    dropped: int = 0
+
+    def _group_of(self, name: str) -> int:
+        for index, group in enumerate(self.groups):
+            if name in group:
+                return index
+        return -1
+
+    def __call__(self, src: str, dst: str, message: Any, now: float) -> bool:
+        if self.heal_at is not None and now >= self.heal_at:
+            return False
+        if self._group_of(src) != self._group_of(dst):
+            self.dropped += 1
+            return True
+        return False

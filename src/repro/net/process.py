@@ -1,0 +1,160 @@
+"""Processes and the network binding them (paper §4.2 system model).
+
+``Π = {p1, …, pn}`` processes, each running one protocol instance,
+communicating over reliable FIFO authenticated channels (the Bitcoin /
+Ethereum model of §5.1–5.2) with configurable synchrony.  Authentication
+is structural: ``on_message`` receives the true sender name.  FIFO is
+enforced per ordered pair by clamping delivery times.  Crash-stop and
+Byzantine behaviours are modelled by :meth:`Network.crash` and by
+subclassing :class:`SimProcess` with arbitrary logic, respectively.
+
+Every process owns a :class:`~repro.histories.builder.HistoryRecorder`
+reference (shared, network-wide) through which it records BT-ADT
+operations and the §4.2 replica events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.histories.builder import HistoryRecorder
+from repro.net.channels import DROP, ChannelModel, SynchronousChannel
+from repro.net.simulator import Simulator
+
+__all__ = ["SimProcess", "Network"]
+
+
+class SimProcess:
+    """Base class for simulated processes.
+
+    Subclasses override :meth:`on_start`, :meth:`on_message` and
+    :meth:`on_timer`.  Helper methods ``send``, ``broadcast`` and
+    ``set_timer`` are available once the process is registered with a
+    :class:`Network`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.network: Optional[Network] = None
+        self.crashed = False
+
+    # -- lifecycle hooks -------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the simulation starts."""
+
+    def on_message(self, src: str, message: Any) -> None:
+        """Called on delivery of ``message`` from ``src``."""
+
+    def on_timer(self, tag: Any) -> None:
+        """Called when a timer set via :meth:`set_timer` fires."""
+
+    # -- actions ---------------------------------------------------------------
+
+    def send(self, dst: str, message: Any) -> None:
+        """Send ``message`` to ``dst`` over the network's channels."""
+        self.network.transmit(self.name, dst, message)
+
+    def broadcast(self, message: Any, include_self: bool = False) -> None:
+        """Send ``message`` to every process (optionally also to self)."""
+        for other in self.network.process_names():
+            if include_self or other != self.name:
+                self.send(other, message)
+
+    def set_timer(self, delay: float, tag: Any) -> None:
+        """Schedule :meth:`on_timer` after ``delay`` (dropped if crashed)."""
+        def fire() -> None:
+            if not self.crashed:
+                self.on_timer(tag)
+
+        self.network.simulator.schedule(delay, fire)
+
+    @property
+    def now(self) -> float:
+        """Simulation time — for logging/metrics only, never protocol logic."""
+        return self.network.simulator.now
+
+    def record_instant(self, op_name: str, args: tuple, result: Any = None) -> None:
+        """Record an instantaneous replica event (send/receive/update)."""
+        self.network.recorder.instant(
+            self.name, op_name, args, result, time=self.now
+        )
+
+
+class Network:
+    """The complete-graph network connecting processes via a channel model."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        channel: Optional[ChannelModel] = None,
+        recorder: Optional[HistoryRecorder] = None,
+        fifo: bool = True,
+    ) -> None:
+        self.simulator = simulator
+        self.channel = channel or SynchronousChannel()
+        self.recorder = recorder or HistoryRecorder()
+        self.fifo = fifo
+        self.processes: Dict[str, SimProcess] = {}
+        self._last_delivery: Dict[tuple, float] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- membership -------------------------------------------------------------
+
+    def register(self, process: SimProcess) -> SimProcess:
+        """Add ``process`` to the network."""
+        if process.name in self.processes:
+            raise ValueError(f"duplicate process name {process.name!r}")
+        process.network = self
+        self.processes[process.name] = process
+        return process
+
+    def process_names(self) -> List[str]:
+        """All registered process names, sorted for determinism."""
+        return sorted(self.processes)
+
+    def correct_processes(self) -> List[str]:
+        """Names of processes that have not crashed."""
+        return [n for n in self.process_names() if not self.processes[n].crashed]
+
+    def start(self) -> None:
+        """Invoke every process's ``on_start`` at time 0."""
+        for name in self.process_names():
+            proc = self.processes[name]
+            self.simulator.schedule(0.0, proc.on_start)
+
+    def crash(self, name: str, at: float = 0.0) -> None:
+        """Crash-stop ``name`` at simulated time ``at``."""
+        def do_crash() -> None:
+            self.processes[name].crashed = True
+
+        self.simulator.schedule_at(max(at, self.simulator.now), do_crash)
+
+    # -- transmission -----------------------------------------------------------
+
+    def transmit(self, src: str, dst: str, message: Any) -> None:
+        """Route one message through the channel model."""
+        if self.processes[src].crashed:
+            return
+        self.messages_sent += 1
+        delay = self.channel.delay(src, dst, message, self.simulator.rng, self.simulator.now)
+        if delay is DROP:
+            self.messages_dropped += 1
+            return
+        deliver_at = self.simulator.now + delay
+        if self.fifo:
+            key = (src, dst)
+            floor = self._last_delivery.get(key, 0.0)
+            deliver_at = max(deliver_at, floor + 1e-9)
+            self._last_delivery[key] = deliver_at
+
+        def deliver() -> None:
+            target = self.processes[dst]
+            if target.crashed:
+                return
+            self.messages_delivered += 1
+            target.on_message(src, message)
+
+        self.simulator.schedule_at(deliver_at, deliver)

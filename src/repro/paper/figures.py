@@ -1,0 +1,152 @@
+"""The paper's example histories, rebuilt block-for-block.
+
+All three consistency figures use the same block universe: an "odd"
+branch ``b0 ⌢ 1 ⌢ 3 ⌢ 5`` and an "even" branch ``b0 ⌢ 2 ⌢ 4 ⌢ 6``, with
+the length score and the longest-chain selection (lexicographic
+tie-break) — exactly the conventions stated under Figures 2–4.
+
+* **Figure 2** — a single branch read by two processes at staggered
+  lengths: satisfies BT *Strong* consistency.
+* **Figure 3** — both branches coexist; process ``i`` first reads the
+  even branch, then both processes converge on the odd branch:
+  satisfies *Eventual*, violates *Strong* (``b0⌢1 ⋢ b0⌢2⌢4``).
+* **Figure 4** — ``i`` keeps extending the even branch while ``j`` keeps
+  extending the odd branch, forever: violates both criteria (the
+  Eventual Prefix bad-pair set is infinite).
+* **Figure 13** — a send/receive/update pattern satisfying the Update
+  Agreement properties R1–R3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.blocktree.block import Block, GENESIS, make_block
+from repro.blocktree.chain import Chain
+from repro.histories.builder import HistoryRecorder
+from repro.histories.continuation import (
+    Continuation,
+    ContinuationModel,
+    GrowthMode,
+)
+from repro.histories.history import ConcurrentHistory
+
+__all__ = [
+    "paper_blocks",
+    "figure2_history",
+    "figure3_history",
+    "figure4_history",
+    "figure13_history",
+]
+
+
+def paper_blocks() -> Dict[str, Block]:
+    """The shared block universe of Figures 2–4.
+
+    Odd branch 1→3→5 and even branch 2→4→6, all rooted at genesis.
+    """
+    blocks: Dict[str, Block] = {}
+    parent = GENESIS
+    for label in ("1", "3", "5"):
+        blocks[label] = make_block(parent, label=label)
+        parent = blocks[label]
+    parent = GENESIS
+    for label in ("2", "4", "6"):
+        blocks[label] = make_block(parent, label=label)
+        parent = blocks[label]
+    return blocks
+
+
+def _chain(blocks: Dict[str, Block], *labels: str) -> Chain:
+    chain = [GENESIS]
+    for label in labels:
+        chain.append(blocks[label])
+    return Chain.of(chain)
+
+
+def _record(
+    reads: List[Tuple[str, Chain]], continuation: ContinuationModel
+) -> ConcurrentHistory:
+    rec = HistoryRecorder()
+    appended = set()
+    for _proc, chain in reads:
+        for b in chain.non_genesis():
+            if b.block_id not in appended:
+                appended.add(b.block_id)
+                op = rec.begin("env", "append", (b.block_id, b.parent_id))
+                rec.end("env", op, "append", True)
+    for proc, chain in reads:
+        rec.record_read(proc, chain)
+    return rec.history(continuation=continuation)
+
+
+def figure2_history() -> ConcurrentHistory:
+    """Figure 2: the SC-satisfying history (single branch, staggered reads)."""
+    # Figure 2's branch is a single chain 1→2→3→4 (no forks at all).
+    chain_blocks: Dict[str, Block] = {}
+    parent = GENESIS
+    for label in ("1", "2", "3", "4"):
+        chain_blocks[label] = make_block(parent, label=label)
+        parent = chain_blocks[label]
+    reads = [
+        ("i", _chain(chain_blocks, "1", "2")),
+        ("j", _chain(chain_blocks, "1")),
+        ("j", _chain(chain_blocks, "1", "2")),
+        ("i", _chain(chain_blocks, "1", "2", "3")),
+        ("i", _chain(chain_blocks, "1", "2", "3", "4")),
+        ("j", _chain(chain_blocks, "1", "2", "3", "4")),
+    ]
+    return _record(reads, ContinuationModel.all_growing(["i", "j"]))
+
+
+def figure3_history() -> ConcurrentHistory:
+    """Figure 3: Eventual-but-not-Strong (fork, then convergence)."""
+    blocks = paper_blocks()
+    reads = [
+        ("i", _chain(blocks, "2", "4")),       # i adopts the even branch first
+        ("j", _chain(blocks, "1")),            # j is on the odd branch: fork!
+        ("j", _chain(blocks, "1", "3")),
+        ("i", _chain(blocks, "1", "3")),       # i switches to the winning branch
+        ("i", _chain(blocks, "1", "3", "5")),
+        ("j", _chain(blocks, "1", "3", "5")),
+    ]
+    return _record(reads, ContinuationModel.all_growing(["i", "j"]))
+
+
+def figure4_history() -> ConcurrentHistory:
+    """Figure 4: permanently diverging branches — violates EC and SC."""
+    blocks = paper_blocks()
+    reads = [
+        ("i", _chain(blocks, "2", "4")),
+        ("j", _chain(blocks, "1")),
+        ("j", _chain(blocks, "1", "3")),
+        ("i", _chain(blocks, "2", "4", "6")),
+        ("j", _chain(blocks, "1", "3", "5")),
+    ]
+    continuation = ContinuationModel(
+        {
+            "i": Continuation(True, GrowthMode.GROWING, "even"),
+            "j": Continuation(True, GrowthMode.GROWING, "odd"),
+        }
+    )
+    return _record(reads, continuation)
+
+
+def figure13_history() -> ConcurrentHistory:
+    """Figure 13: a history satisfying the Update Agreement (R1, R2, R3).
+
+    Process ``i`` generates block ``b``, sends it, self-receives and
+    updates; ``j`` and ``k`` receive then update.
+    """
+    blocks = paper_blocks()
+    b = blocks["1"]
+    args = (b.parent_id, b.block_id, "i")
+    rec = HistoryRecorder()
+    rec.instant("i", "send", args)
+    rec.instant("i", "receive", args)
+    rec.instant("i", "update", args)
+    rec.instant("j", "receive", args)
+    rec.instant("k", "receive", args)
+    rec.instant("j", "update", args)
+    rec.instant("k", "update", args)
+    return rec.history()

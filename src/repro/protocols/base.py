@@ -1,0 +1,288 @@
+"""Common replica machinery for the Table 1 protocol models.
+
+:class:`BlockchainNode` is the §4.2 replica: a local BlockTree copy
+``bt_i``, flooding gossip for block dissemination (implementing LRC),
+orphan buffering for out-of-order arrivals, periodic recorded ``read()``
+operations, and recorded ``append``/``send``/``receive``/``update``
+events so the consistency checkers can judge the run afterwards.
+
+:class:`ProtocolRun` builds the network for a scenario, runs it, issues a
+final read at every node (so limit chains are observable) and packages
+history + trees + metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.blocktree.block import Block, make_block
+from repro.blocktree.chain import Chain
+from repro.blocktree.selection import LongestChain, SelectionFunction
+from repro.blocktree.tree import BlockTree
+from repro.histories.continuation import ContinuationModel
+from repro.histories.history import ConcurrentHistory
+from repro.net.channels import ChannelModel, SynchronousChannel
+from repro.net.process import Network, SimProcess
+from repro.net.simulator import Simulator
+from repro.workloads.scenarios import ProtocolScenario
+from repro.workloads.transactions import TransactionGenerator
+
+__all__ = ["BlockchainNode", "ProtocolRun"]
+
+BLOCK_GOSSIP = "block-gossip"
+
+
+class BlockchainNode(SimProcess):
+    """A blockchain replica with tree, gossip, orphans and history recording.
+
+    Subclasses implement the block-production mechanism (mining timers,
+    consensus rounds, …) and call :meth:`adopt_block` whenever a block
+    becomes part of their replica — which records the ``update`` event of
+    §4.2 and re-floods the block.
+    """
+
+    #: Classification tags overridden by concrete protocols.
+    oracle_kind: str = "prodigal"
+    expected_refinement: str = "R(BT-ADT_EC, Θ_P)"
+
+    def __init__(self, name: str, scenario: ProtocolScenario) -> None:
+        super().__init__(name)
+        self.scenario = scenario
+        self.tree = BlockTree()
+        self.selection: SelectionFunction = LongestChain()
+        self.orphans: Dict[str, List[Block]] = {}
+        self.seen_blocks: set = {self.tree.genesis.block_id}
+        self.received_marks: set = set()  # blocks with a recorded receive
+        self.rejected_blocks: set = set()  # blocks refused by P
+        self.open_appends: Dict[str, Tuple[int, str]] = {}  # block_id → (op_id, name)
+        self.txgen = TransactionGenerator(
+            seed=scenario.seed * 1000 + int(name[1:]) if name[1:].isdigit() else scenario.seed
+        )
+
+    # -- reads ------------------------------------------------------------------
+
+    def read(self) -> Chain:
+        """A recorded BT-ADT ``read()`` on the local replica."""
+        rec = self.network.recorder
+        op_id = rec.begin(self.name, "read", (), time=self.now)
+        chain = self.selection.select(self.tree)
+        rec.end(self.name, op_id, "read", chain, time=self.now)
+        return chain
+
+    def schedule_periodic_reads(self) -> None:
+        """Start the periodic read loop (every ``scenario.read_interval``)."""
+        self.set_timer(self.scenario.read_interval, ("periodic-read",))
+
+    def _maybe_periodic_read(self, tag: Any) -> bool:
+        if isinstance(tag, tuple) and tag and tag[0] == "periodic-read":
+            if self.now < self.scenario.duration:
+                self.read()
+                self.set_timer(self.scenario.read_interval, ("periodic-read",))
+            return True
+        return False
+
+    # -- appends ------------------------------------------------------------------
+
+    def begin_append(self, block: Block) -> None:
+        """Record the invocation of ``append(block)`` (creator side)."""
+        rec = self.network.recorder
+        op_id = rec.begin(
+            self.name, "append", (block.block_id, block.parent_id), time=self.now
+        )
+        self.open_appends[block.block_id] = (op_id, self.name)
+
+    def resolve_append(self, block_id: str, ok: bool) -> None:
+        """Record the response of a previously begun append."""
+        entry = self.open_appends.pop(block_id, None)
+        if entry is None:
+            return
+        op_id, _ = entry
+        self.network.recorder.end(self.name, op_id, "append", ok, time=self.now)
+
+    # -- block dissemination ---------------------------------------------------------
+
+    @staticmethod
+    def creator_name(block: Block) -> str:
+        """The process name of a block's creator (``""`` when unknown)."""
+        return f"p{block.creator}" if block.creator is not None else ""
+
+    def announce_block(self, block: Block) -> None:
+        """Flood a block to all peers (recording the ``send`` event).
+
+        The loopback ``receive`` is recorded immediately: LRC Validity
+        requires the sender to deliver its own message.
+        """
+        args = (block.parent_id, block.block_id, self.creator_name(block))
+        self.record_instant("send", args)
+        self.broadcast((BLOCK_GOSSIP, block.block_id, block))
+        self.record_instant("receive", args)
+        self.received_marks.add(block.block_id)
+
+    def validate_incoming(self, block: Block) -> bool:
+        """The validity predicate ``P`` applied on reception.
+
+        With ``scenario.pow_difficulty_bits > 0`` the block must carry a
+        nonce solving the hash puzzle over (parent, payload, creator) —
+        the concrete Dwork–Naor instantiation of oracle validation.
+        Subclasses may add application rules (e.g. double-spend checks).
+        """
+        bits = self.scenario.pow_difficulty_bits
+        if bits <= 0:
+            return True
+        from repro.crypto.pow import PoWPuzzle
+        from repro.crypto.merkle import MerkleTree
+
+        puzzle = PoWPuzzle(
+            parent_id=block.parent_id or "",
+            payload_commitment=MerkleTree(block.payload).root,
+            miner=self.creator_name(block),
+            difficulty_bits=bits,
+        )
+        return puzzle.check(block.nonce)
+
+    def adopt_block(self, block: Block, relay: bool = True) -> bool:
+        """Integrate ``block`` into the local replica (the ``update`` event).
+
+        Invalid blocks (``P(b) = false``) are refused outright; orphans
+        whose parent is unknown are buffered; returns True when the block
+        (and possibly buffered descendants) entered the tree.
+        """
+        if block.block_id in self.tree:
+            return False
+        if not self.validate_incoming(block):
+            self.rejected_blocks.add(block.block_id)
+            return False
+        if block.parent_id not in self.tree:
+            self.orphans.setdefault(block.parent_id, []).append(block)
+            return False
+        if block.block_id not in self.received_marks:
+            # The block arrived through a consensus/commit message rather
+            # than block gossip: that delivery is the §4.2 receive event.
+            self.record_instant(
+                "receive", (block.parent_id, block.block_id, self.creator_name(block))
+            )
+            self.received_marks.add(block.block_id)
+        self.tree.add_block(block)
+        self.record_instant(
+            "update", (block.parent_id, block.block_id, self.creator_name(block))
+        )
+        if relay and block.block_id not in self.seen_blocks:
+            self.broadcast((BLOCK_GOSSIP, block.block_id, block))
+        self.seen_blocks.add(block.block_id)
+        self.on_new_block(block)
+        if self.scenario.read_on_update:
+            # Applications read after updates; this makes transient forks
+            # observable to the consistency checkers (a read on each side
+            # of a fork witnesses the Strong Prefix violation).
+            self.read()
+        # Drain orphans now attached.
+        for orphan in self.orphans.pop(block.block_id, []):
+            self.adopt_block(orphan, relay=relay)
+        return True
+
+    def on_block_gossip(self, src: str, message: tuple) -> bool:
+        """Handle a flooded block; returns True when consumed."""
+        if not (isinstance(message, tuple) and message and message[0] == BLOCK_GOSSIP):
+            return False
+        _tag, block_id, block = message
+        if block_id in self.seen_blocks:
+            return True
+        self.seen_blocks.add(block_id)
+        self.record_instant(
+            "receive", (block.parent_id, block.block_id, self.creator_name(block))
+        )
+        self.received_marks.add(block_id)
+        self.broadcast(message)  # forward-once flooding (LRC agreement)
+        self.adopt_block(block, relay=False)
+        return True
+
+    def on_new_block(self, block: Block) -> None:
+        """Hook: called after a block enters the tree (protocol reaction)."""
+
+    # -- helpers --------------------------------------------------------------------
+
+    def make_payload(self) -> tuple:
+        """Draw a batch of transactions for a new block."""
+        return self.txgen.batch(self.scenario.tx_per_block)
+
+    def selected_tip(self) -> Block:
+        """The tip of ``f(bt)`` on the local replica."""
+        return self.selection.select(self.tree).tip
+
+
+@dataclass
+class ProtocolRun:
+    """Outcome of one protocol simulation."""
+
+    scenario: ProtocolScenario
+    history: ConcurrentHistory
+    nodes: List[BlockchainNode]
+    network: Network
+    simulator: Simulator
+
+    @property
+    def node_names(self) -> List[str]:
+        return [n.name for n in self.nodes]
+
+    def final_chains(self) -> Dict[str, Chain]:
+        """Each node's adopted chain at the end of the run."""
+        return {n.name: n.selection.select(n.tree) for n in self.nodes}
+
+    def max_fork_degree(self) -> int:
+        """The widest fork observed on any replica."""
+        return max(n.tree.max_fork_degree() for n in self.nodes)
+
+    def parent_map(self) -> Dict[str, str]:
+        """block_id → parent_id over all blocks on all replicas."""
+        parents: Dict[str, str] = {}
+        for node in self.nodes:
+            for block in node.tree.blocks():
+                if not block.is_genesis:
+                    parents[block.block_id] = block.parent_id
+        return parents
+
+    @staticmethod
+    def execute(
+        node_cls: Type[BlockchainNode],
+        scenario: ProtocolScenario,
+        channel: Optional[ChannelModel] = None,
+        configure: Optional[Callable[[Network, List[BlockchainNode]], None]] = None,
+        settle: float = 120.0,
+    ) -> "ProtocolRun":
+        """Build, run and package a protocol simulation.
+
+        The network runs for ``scenario.duration`` of block production
+        plus a settle window during which production stops but messages
+        drain — then every node issues one final recorded read (the
+        observable limit chains).  The history carries an all-growing
+        single-group continuation: these protocols keep producing and
+        converging, which is the declared future used by the liveness
+        checkers.
+        """
+        sim = Simulator(seed=scenario.seed)
+        channel = channel or SynchronousChannel(delta=scenario.channel_delta)
+        net = Network(sim, channel=channel)
+        nodes = [
+            net.register(node_cls(name, scenario)) for name in scenario.node_names()
+        ]
+        if configure is not None:
+            configure(net, nodes)
+        net.start()
+        sim.run(until=scenario.duration + settle)
+        for node in nodes:
+            node.read()  # final read: the limit chain
+        for node in nodes:
+            for block_id in list(node.open_appends):
+                node.resolve_append(block_id, False)  # never committed
+        continuation = ContinuationModel.all_growing(
+            [n.name for n in nodes], group="main"
+        )
+        history = net.recorder.history(continuation=continuation)
+        return ProtocolRun(
+            scenario=scenario,
+            history=history,
+            nodes=nodes,
+            network=net,
+            simulator=sim,
+        )

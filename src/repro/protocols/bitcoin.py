@@ -1,0 +1,129 @@
+"""Bitcoin (paper §5.1): proof-of-work + heaviest chain + flooding.
+
+"The getToken operation is implemented by a proof-of-work mechanism.
+The consumeToken operation returns true for all valid blocks, thus there
+is no bound on the number of consumed tokens.  Thus Bitcoin implements a
+Prodigal Oracle.  The f selects … the blockchain which has required the
+most computational work."
+
+Mining is modelled as the standard exponential race: node ``i`` with
+merit ``α_i`` finds its next block after ``Exp(mean_interval / α_i)``
+time — the continuous-time equivalent of drawing a Θ_P tape at hash rate
+``α_i``.  A found block is appended immediately (prodigal: no commit
+gate), flooded to all peers, and mining restarts on the new selected tip.
+Forks arise naturally when two miners find blocks within a network delay
+of each other; the heaviest-work rule resolves them — Eventual
+consistency, not Strong (the Table 1 classification the checkers
+confirm).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.blocktree.block import Block, make_block
+from repro.blocktree.selection import HeaviestChain
+from repro.protocols.base import BlockchainNode, ProtocolRun
+from repro.workloads.scenarios import ProtocolScenario
+
+__all__ = ["BitcoinNode", "run_bitcoin"]
+
+
+class BitcoinNode(BlockchainNode):
+    """A Bitcoin miner/replica."""
+
+    oracle_kind = "prodigal"
+    expected_refinement = "R(BT-ADT_EC, Θ_P)"
+
+    def __init__(self, name: str, scenario: ProtocolScenario) -> None:
+        super().__init__(name, scenario)
+        self.selection = HeaviestChain()
+        self.blocks_mined = 0
+        self._mining_epoch = 0  # invalidates stale mining timers
+
+    # -- mining -------------------------------------------------------------
+
+    @property
+    def merit(self) -> float:
+        """The node's merit α (hash-power share)."""
+        index = int(self.name[1:])
+        return self.scenario.merit_of(index)
+
+    def on_start(self) -> None:
+        self.schedule_periodic_reads()
+        self._schedule_mining()
+
+    def _schedule_mining(self) -> None:
+        """Arm the next block-find event: Exp(mean/α) from now."""
+        if self.now >= self.scenario.duration:
+            return
+        rate = self.merit / self.scenario.mean_block_interval
+        delay = self.network.simulator.rng.expovariate(rate)
+        self._mining_epoch += 1
+        self.set_timer(delay, ("mine", self._mining_epoch))
+
+    def on_timer(self, tag: Any) -> None:
+        if self._maybe_periodic_read(tag):
+            return
+        if isinstance(tag, tuple) and tag and tag[0] == "mine":
+            if tag[1] != self._mining_epoch:
+                return  # stale: the tip changed and mining restarted
+            if self.now < self.scenario.duration:
+                self._mine_block()
+            return
+
+    def _solve_pow(self, tip: Block, payload: tuple) -> int:
+        """Solve the hash puzzle when real-PoW validation is enabled.
+
+        The exponential timer models *when* the block is found; the nonce
+        search (cheap at the configured difficulty) produces the
+        verifiable witness that receivers check in ``validate_incoming``.
+        """
+        bits = self.scenario.pow_difficulty_bits
+        if bits <= 0:
+            return 0
+        from repro.crypto.merkle import MerkleTree
+        from repro.crypto.pow import PoWPuzzle
+
+        puzzle = PoWPuzzle(
+            parent_id=tip.block_id,
+            payload_commitment=MerkleTree(payload).root,
+            miner=self.name,
+            difficulty_bits=bits,
+        )
+        solution = puzzle.mine()
+        if solution is None:
+            raise RuntimeError("PoW search exhausted — difficulty too high")
+        return solution.nonce
+
+    def _mine_block(self) -> None:
+        tip = self.selected_tip()
+        payload = self.make_payload()
+        block = make_block(
+            parent=tip,
+            label=f"{self.name}#{self.blocks_mined}",
+            payload=payload,
+            creator=int(self.name[1:]),
+            nonce=self._solve_pow(tip, payload),
+            weight=1.0,
+        )
+        self.blocks_mined += 1
+        self.begin_append(block)
+        self.resolve_append(block.block_id, True)  # prodigal: always accepted
+        self.announce_block(block)
+        self.adopt_block(block, relay=False)
+        self._schedule_mining()
+
+    def on_new_block(self, block: Block) -> None:
+        """Restart mining when the selected tip moves (work race semantics)."""
+        if block.creator != int(self.name[1:]):
+            self._schedule_mining()
+
+    def on_message(self, src: str, message: Any) -> None:
+        self.on_block_gossip(src, message)
+
+
+def run_bitcoin(scenario: ProtocolScenario | None = None, **overrides) -> ProtocolRun:
+    """Run the Bitcoin model under ``scenario`` (defaults + overrides)."""
+    scenario = scenario or ProtocolScenario(name="bitcoin", **overrides)
+    return ProtocolRun.execute(BitcoinNode, scenario)

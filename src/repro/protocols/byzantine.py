@@ -1,0 +1,115 @@
+"""Byzantine node behaviours for the protocol experiments.
+
+The paper's §4.2 model allows processes to "arbitrarily deviate from the
+protocol"; Definition 4.2 then restricts histories to events at *correct*
+processes.  These adversarial nodes exercise that boundary:
+
+* :class:`ForgingMiner` — announces blocks without solving the proof of
+  work.  With ``pow_difficulty_bits > 0`` honest replicas apply ``P`` on
+  reception and refuse them ("the oracle is the only generator of valid
+  blocks"); the forger's chain never enters an honest BlockTree.
+* :class:`EquivocatingMiner` — mines one block slot but announces two
+  different blocks to disjoint halves of the network, trying to keep the
+  fork alive (a weak double-spend pattern); honest convergence still wins
+  because both halves eventually exchange blocks and the selection rule
+  is deterministic.
+* :class:`WithholdingMiner` — a selfish-mining flavour: keeps its blocks
+  private for ``withhold_for`` seconds before releasing, lengthening the
+  divergence window the Eventual-Prefix metrics measure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.blocktree.block import Block, make_block
+from repro.protocols.bitcoin import BitcoinNode
+
+__all__ = ["ForgingMiner", "EquivocatingMiner", "WithholdingMiner"]
+
+
+class ForgingMiner(BitcoinNode):
+    """Mines without proof-of-work: nonce 0, no puzzle search.
+
+    Under real-PoW validation its blocks fail ``P`` at every honest
+    replica and are dropped before entering any tree.
+    """
+
+    def _solve_pow(self, tip: Block, payload: tuple) -> int:
+        return 0  # forged: no work behind the block
+
+    def validate_incoming(self, block: Block) -> bool:
+        return True  # the forger itself accepts anything (it is Byzantine)
+
+
+class EquivocatingMiner(BitcoinNode):
+    """Announces two conflicting blocks per mined slot, split-brain style."""
+
+    def _mine_block(self) -> None:
+        tip = self.selected_tip()
+        payload = self.make_payload()
+        variants = []
+        for tag in ("A", "B"):
+            block = make_block(
+                parent=tip,
+                label=f"{self.name}#{self.blocks_mined}{tag}",
+                payload=payload,
+                creator=int(self.name[1:]),
+                nonce=self._solve_pow(tip, payload) if tag == "A" else 0,
+            )
+            if self.scenario.pow_difficulty_bits > 0 and tag == "B":
+                # Each variant needs its own valid proof to pass P.
+                block = make_block(
+                    parent=tip,
+                    label=f"{self.name}#{self.blocks_mined}{tag}",
+                    payload=payload,
+                    creator=int(self.name[1:]),
+                    nonce=self._solve_pow(tip, payload),
+                )
+            variants.append(block)
+        self.blocks_mined += 1
+        peers = [p for p in self.network.process_names() if p != self.name]
+        half = len(peers) // 2
+        for group, block in zip((peers[:half], peers[half:]), variants):
+            for peer in group:
+                self.send(peer, ("block-gossip", block.block_id, block))
+        # The equivocator adopts variant A locally and keeps mining.
+        self.adopt_block(variants[0], relay=False)
+        self._schedule_mining()
+
+
+class WithholdingMiner(BitcoinNode):
+    """Selfish-mining flavour: delays the release of its own blocks."""
+
+    def __init__(self, name: str, scenario) -> None:
+        super().__init__(name, scenario)
+        self.withhold_for: float = 2.0 * scenario.channel_delta
+        self._private: List[Block] = []
+
+    def _mine_block(self) -> None:
+        tip = self.selected_tip()
+        payload = self.make_payload()
+        block = make_block(
+            parent=tip,
+            label=f"{self.name}#{self.blocks_mined}",
+            payload=payload,
+            creator=int(self.name[1:]),
+            nonce=self._solve_pow(tip, payload),
+        )
+        self.blocks_mined += 1
+        self.begin_append(block)
+        self.resolve_append(block.block_id, True)
+        self.adopt_block(block, relay=False)
+        self._private.append(block)
+        self.set_timer(self.withhold_for, ("release", block.block_id))
+        self._schedule_mining()
+
+    def on_timer(self, tag: Any) -> None:
+        if isinstance(tag, tuple) and tag and tag[0] == "release":
+            block_id = tag[1]
+            for block in list(self._private):
+                if block.block_id == block_id:
+                    self._private.remove(block)
+                    self.announce_block(block)
+            return
+        super().on_timer(tag)

@@ -1,0 +1,122 @@
+"""Hyperledger Fabric (paper §5.7): ordering service + identical peers.
+
+"HyperLedger Fabric relies on a leader election to determine which
+process will generate the next block … By construction, HyperLedger
+Fabric ensures that a unique token (k = 1) is consumed, thus HyperLedger
+Fabric implements a strongly consistent BlockTree."
+
+The first ``orderer_count`` nodes form the CFT ordering cluster
+(:class:`~repro.consensus.ordering.OrderingService`); every node is also
+a peer.  Peers submit transaction batches; the service delivers a total
+order; at delivery sequence ``s`` every peer deterministically constructs
+block ``s`` (same content hash everywhere) and appends it — a unique
+chain, Θ_F,k=1, Strong consistency.  The append of sequence ``s`` is
+recorded by the cluster's current leader.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.blocktree.block import make_block
+from repro.consensus.ordering import DELIVER, OrderingService, SUBMIT
+from repro.protocols.base import BlockchainNode, ProtocolRun
+from repro.workloads.scenarios import ProtocolScenario
+
+__all__ = ["HyperledgerNode", "run_hyperledger"]
+
+ORDERER_COUNT = 3
+
+
+class HyperledgerNode(BlockchainNode):
+    """A Fabric node: peer always, orderer when in the cluster prefix."""
+
+    oracle_kind = "frugal-k1"
+    expected_refinement = "R(BT-ADT_SC, Θ_F,k=1)"
+
+    def __init__(self, name: str, scenario: ProtocolScenario) -> None:
+        super().__init__(name, scenario)
+        names = list(scenario.node_names())
+        self.cluster = names[: min(ORDERER_COUNT, len(names))]
+        self.is_orderer = name in self.cluster
+        self.ordering = (
+            OrderingService(
+                host=self,
+                cluster=self.cluster,
+                on_deliver=self._on_deliver,
+                timeout=scenario.round_length * 2,
+            )
+            if self.is_orderer
+            else None
+        )
+        self.batch_counter = 0
+
+    def on_start(self) -> None:
+        self.schedule_periodic_reads()
+        if self.ordering is not None:
+            self.ordering.start()
+        self.set_timer(1.0 + 0.1 * int(self.name[1:]), ("hl-batch",))
+
+    def on_timer(self, tag: Any) -> None:
+        if self._maybe_periodic_read(tag):
+            return
+        if self.ordering is not None and self.ordering.on_timer(tag):
+            return
+        if isinstance(tag, tuple) and tag and tag[0] == "hl-batch":
+            if self.now < self.scenario.duration:
+                self._submit_batch()
+                self.set_timer(self.scenario.round_length, ("hl-batch",))
+
+    def _submit_batch(self) -> None:
+        batch = (self.name, self.batch_counter, self.make_payload())
+        self.batch_counter += 1
+        if self.ordering is not None:
+            self.ordering.submit(batch)
+        else:
+            self.send(self.cluster[0], (SUBMIT, batch))
+
+    def _on_deliver(self, seq: int, batch: Any) -> None:
+        self._append_block(seq, batch)
+        # Orderers fan the delivery out to non-orderer peers.
+        for peer in self.network.process_names():
+            if peer not in self.cluster:
+                self.send(peer, ("hl-block", seq, batch))
+
+    def _append_block(self, seq: int, batch: Any) -> None:
+        tip = self.selected_tip()
+        if tip.label == f"blk{seq}" or any(
+            b.label == f"blk{seq}" for b in self.tree.blocks()
+        ):
+            return  # already appended this sequence
+        submitter, counter, payload = batch
+        block = make_block(parent=tip, label=f"blk{seq}", payload=payload)
+        # Every peer records the append of the delivered block (replicated
+        # echoes of one consume; deduplicated by the k-fork checker).
+        self.begin_append(block)
+        self.resolve_append(block.block_id, True)
+        self.adopt_block(block, relay=True)
+
+    def on_message(self, src: str, message: Any) -> None:
+        if self.on_block_gossip(src, message):
+            return
+        if isinstance(message, tuple) and message:
+            if message[0] == "hl-block":
+                _tag, seq, batch = message
+                self._append_block(seq, batch)
+                return
+            if self.ordering is not None and self.ordering.on_message(src, message):
+                return
+            if message[0] == SUBMIT and not self.is_orderer:
+                return  # stray forward; peers ignore
+            if message[0] == DELIVER and not self.is_orderer:
+                _tag, _term, seq, batch = message
+                self._append_block(seq, batch)
+                return
+
+
+def run_hyperledger(scenario: ProtocolScenario | None = None, **overrides) -> ProtocolRun:
+    """Run the Hyperledger Fabric model."""
+    scenario = scenario or ProtocolScenario(
+        name="hyperledger", round_length=15.0, **overrides
+    )
+    return ProtocolRun.execute(HyperledgerNode, scenario)

@@ -1,0 +1,59 @@
+"""Standard experiment scenarios for the protocol benches.
+
+A :class:`ProtocolScenario` packages the knobs every Table 1 run needs:
+network size, merit/stake distribution, block production tempo, channel
+synchrony and duration.  ``default_scenarios`` returns the configurations
+the benches use, so EXPERIMENTS.md numbers are reproducible verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ProtocolScenario", "default_scenarios"]
+
+
+@dataclass(frozen=True)
+class ProtocolScenario:
+    """Parameters of one protocol simulation run."""
+
+    name: str
+    n_nodes: int = 5
+    seed: int = 2024
+    duration: float = 400.0
+    mean_block_interval: float = 20.0
+    read_interval: float = 7.0
+    channel_delta: float = 1.0
+    merits: Optional[Tuple[float, ...]] = None
+    tx_per_block: int = 3
+    round_length: float = 30.0
+    read_on_update: bool = True
+    pow_difficulty_bits: int = 0  # 0 disables real hash-puzzle validation
+
+    def merit_of(self, index: int) -> float:
+        """The merit α of node ``index`` (uniform when unspecified)."""
+        if self.merits is not None:
+            return self.merits[index]
+        return 1.0 / self.n_nodes
+
+    def node_names(self) -> Tuple[str, ...]:
+        """The node identities ``p0 … p(n-1)``."""
+        return tuple(f"p{i}" for i in range(self.n_nodes))
+
+
+def default_scenarios() -> Dict[str, ProtocolScenario]:
+    """The standard per-protocol scenarios used by the Table 1 bench."""
+    return {
+        "bitcoin": ProtocolScenario(
+            name="bitcoin", mean_block_interval=10.0, channel_delta=3.0
+        ),
+        "ethereum": ProtocolScenario(
+            name="ethereum", mean_block_interval=6.0, channel_delta=3.0
+        ),
+        "byzcoin": ProtocolScenario(name="byzcoin", mean_block_interval=25.0),
+        "algorand": ProtocolScenario(name="algorand", round_length=25.0),
+        "peercensus": ProtocolScenario(name="peercensus", mean_block_interval=25.0),
+        "redbelly": ProtocolScenario(name="redbelly", round_length=30.0, n_nodes=4),
+        "hyperledger": ProtocolScenario(name="hyperledger", round_length=15.0),
+    }

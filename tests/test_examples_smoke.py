@@ -1,0 +1,46 @@
+"""Smoke tests: the fast example scripts run end-to-end without error."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "model_checking_tour.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_present():
+    expected = {
+        "quickstart.py",
+        "bitcoin_fork_resolution.py",
+        "consensus_strong_chain.py",
+        "classify_protocols.py",
+        "update_agreement_demo.py",
+        "model_checking_tour.py",
+    }
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= present
+
+
+def test_examples_have_docstrings_and_main():
+    for path in EXAMPLES.glob("*.py"):
+        text = path.read_text()
+        assert text.lstrip().startswith(('#!/usr/bin/env python\n"""', '"""')), path
+        assert '__main__' in text, f"{path.name} is not runnable"

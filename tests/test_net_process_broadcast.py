@@ -1,0 +1,223 @@
+"""Tests for Network/SimProcess, flooding gossip, LRC and Update Agreement."""
+
+import pytest
+
+from repro.net import (
+    FloodingGossip,
+    LossyChannel,
+    MessageDropAdversary,
+    Network,
+    PartitionAdversary,
+    SimProcess,
+    Simulator,
+    SynchronousChannel,
+    check_lrc,
+    check_update_agreement,
+)
+
+
+class Echo(SimProcess):
+    """Collects every message it receives."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append((src, message))
+
+
+class GossipNode(SimProcess):
+    """A node that floods block announcements and records replica events."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.delivered = []
+        self.gossip = FloodingGossip(host=self, deliver=self._deliver)
+
+    def _deliver(self, msg_id, payload):
+        self.delivered.append(payload)
+        parent_id, block_id, creator = payload
+        self.record_instant("update", (parent_id, block_id, creator))
+
+    def announce(self, parent_id, block_id):
+        self.gossip.publish(block_id, (parent_id, block_id, self.name))
+
+    def on_message(self, src, message):
+        if isinstance(message, tuple) and message[0] == "gossip":
+            self.gossip.on_gossip(src, message)
+
+
+def gossip_network(n=4, channel=None, seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim, channel=channel or SynchronousChannel())
+    nodes = [net.register(GossipNode(f"p{i}")) for i in range(n)]
+    return sim, net, nodes
+
+
+class TestNetwork:
+    def test_send_delivers(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        a, b = net.register(Echo("a")), net.register(Echo("b"))
+        sim.schedule(0.0, lambda: a.send("b", "hello"))
+        sim.run()
+        assert b.received == [("a", "hello")]
+
+    def test_broadcast_excludes_self_by_default(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        nodes = [net.register(Echo(f"p{i}")) for i in range(3)]
+        sim.schedule(0.0, lambda: nodes[0].broadcast("x"))
+        sim.run()
+        assert nodes[0].received == []
+        assert all(n.received == [("p0", "x")] for n in nodes[1:])
+
+    def test_fifo_per_pair(self):
+        sim = Simulator(seed=3)
+        net = Network(sim, channel=SynchronousChannel(delta=5.0, min_delay=0.1))
+        a, b = net.register(Echo("a")), net.register(Echo("b"))
+
+        def burst():
+            for i in range(20):
+                a.send("b", i)
+
+        sim.schedule(0.0, burst)
+        sim.run()
+        payloads = [m for _, m in b.received]
+        assert payloads == sorted(payloads)
+
+    def test_crashed_process_neither_sends_nor_receives(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        a, b = net.register(Echo("a")), net.register(Echo("b"))
+        net.crash("b", at=0.0)
+        sim.schedule(1.0, lambda: a.send("b", "x"))
+        sim.run()
+        assert b.received == []
+        assert net.correct_processes() == ["a"]
+
+    def test_duplicate_name_rejected(self):
+        net = Network(Simulator())
+        net.register(Echo("a"))
+        with pytest.raises(ValueError):
+            net.register(Echo("a"))
+
+    def test_timer_fires(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+
+        class Timed(SimProcess):
+            def __init__(self, name):
+                super().__init__(name)
+                self.fired = []
+
+            def on_start(self):
+                self.set_timer(2.0, "tick")
+
+            def on_timer(self, tag):
+                self.fired.append((tag, self.now))
+
+        t = net.register(Timed("t"))
+        net.start()
+        sim.run()
+        assert t.fired == [("tick", 2.0)]
+
+    def test_message_counters(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        a, b = net.register(Echo("a")), net.register(Echo("b"))
+        sim.schedule(0.0, lambda: a.send("b", "m"))
+        sim.run()
+        assert net.messages_sent == 1 and net.messages_delivered == 1
+
+
+class TestFloodingLRC:
+    def test_flood_reaches_everyone(self):
+        sim, net, nodes = gossip_network(n=5)
+        sim.schedule(0.0, lambda: nodes[0].announce("b0", "blk1"))
+        sim.run()
+        assert all(len(n.delivered) == 1 for n in nodes)
+
+    def test_publisher_self_delivers(self):
+        sim, net, nodes = gossip_network(n=3)
+        sim.schedule(0.0, lambda: nodes[0].announce("b0", "blk1"))
+        sim.run()
+        assert nodes[0].delivered[0][1] == "blk1"
+
+    def test_lrc_holds_without_faults(self):
+        sim, net, nodes = gossip_network(n=4)
+        sim.schedule(0.0, lambda: nodes[1].announce("b0", "blkA"))
+        sim.schedule(1.0, lambda: nodes[2].announce("b0", "blkB"))
+        sim.run()
+        checks = check_lrc(net.recorder.history())
+        assert checks["validity"].ok and checks["agreement"].ok
+
+    def test_update_agreement_holds_without_faults(self):
+        sim, net, nodes = gossip_network(n=4)
+        sim.schedule(0.0, lambda: nodes[0].announce("b0", "blk1"))
+        sim.run()
+        checks = check_update_agreement(net.recorder.history())
+        assert all(c.ok for c in checks.values())
+
+    def test_drop_adversary_breaks_r3_and_agreement(self):
+        adversary = MessageDropAdversary(
+            matcher=lambda s, d, m: d == "p3"
+            and isinstance(m, tuple)
+            and m[0] == "gossip"
+            and m[1] == "blk1"
+        )
+        channel = LossyChannel(SynchronousChannel(), adversary)
+        sim, net, nodes = gossip_network(n=4, channel=channel)
+        sim.schedule(0.0, lambda: nodes[0].announce("b0", "blk1"))
+        sim.run()
+        assert adversary.dropped >= 1
+        correct = [n.name for n in nodes]
+        checks = check_update_agreement(net.recorder.history(), correct)
+        assert not checks["R3"].ok
+        lrc = check_lrc(net.recorder.history(), correct)
+        assert not lrc["agreement"].ok
+
+    def test_partition_adversary_blocks_cross_traffic(self):
+        adversary = PartitionAdversary(
+            groups=(frozenset({"p0", "p1"}), frozenset({"p2", "p3"})),
+        )
+        channel = LossyChannel(SynchronousChannel(), adversary)
+        sim, net, nodes = gossip_network(n=4, channel=channel)
+        sim.schedule(0.0, lambda: nodes[0].announce("b0", "blk1"))
+        sim.run()
+        assert len(nodes[1].delivered) == 1
+        assert len(nodes[2].delivered) == 0
+        assert adversary.dropped > 0
+
+    def test_partition_heals(self):
+        adversary = PartitionAdversary(
+            groups=(frozenset({"p0", "p1"}), frozenset({"p2", "p3"})),
+            heal_at=10.0,
+        )
+        channel = LossyChannel(SynchronousChannel(), adversary)
+        sim, net, nodes = gossip_network(n=4, channel=channel)
+        sim.schedule(20.0, lambda: nodes[0].announce("b0", "late"))
+        sim.run()
+        assert len(nodes[2].delivered) == 1
+
+    def test_r2_violation_detected(self):
+        # Hand-build a history where an update has no matching receive.
+        from repro.histories import HistoryRecorder
+
+        rec = HistoryRecorder()
+        rec.instant("i", "send", ("b0", "b1", "i"))
+        rec.instant("i", "receive", ("b0", "b1", "i"))
+        rec.instant("i", "update", ("b0", "b1", "i"))
+        rec.instant("j", "update", ("b0", "b1", "i"))  # no receive at j!
+        checks = check_update_agreement(rec.history(), correct_procs=["i", "j"])
+        assert checks["R1"].ok
+        assert not checks["R2"].ok
+
+    def test_r1_violation_detected(self):
+        from repro.histories import HistoryRecorder
+
+        rec = HistoryRecorder()
+        rec.instant("i", "update", ("b0", "b1", "i"))  # own block, never sent
+        checks = check_update_agreement(rec.history(), correct_procs=["i"])
+        assert not checks["R1"].ok

@@ -1,0 +1,109 @@
+"""Tests for the discrete-event simulator and channel models."""
+
+import pytest
+
+from repro.net import (
+    DROP,
+    AsynchronousChannel,
+    LossyChannel,
+    Simulator,
+    SynchronousChannel,
+    WeaklySynchronousChannel,
+)
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(1.0, lambda: log.append(2))
+        sim.run()
+        assert log == [1, 2]
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append("late"))
+        sim.run(until=2.0)
+        assert log == [] and sim.now == 2.0
+        sim.run()
+        assert log == ["late"] and sim.now == 5.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule(1.0, lambda: log.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_at(-5.0, lambda: None)
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        executed = sim.run(max_events=10)
+        assert executed == 10
+
+    def test_deterministic_rng(self):
+        assert Simulator(seed=4).rng.random() == Simulator(seed=4).rng.random()
+
+    def test_pending_count(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending() == 1
+
+
+class TestChannels:
+    def test_synchronous_bounded(self):
+        sim = Simulator(seed=1)
+        ch = SynchronousChannel(delta=2.0, min_delay=0.5)
+        for _ in range(100):
+            d = ch.delay("a", "b", None, sim.rng, sim.now)
+            assert 0.5 <= d <= 2.0
+
+    def test_asynchronous_unbounded_tail(self):
+        sim = Simulator(seed=1)
+        ch = AsynchronousChannel(mean=1.0)
+        delays = [ch.delay("a", "b", None, sim.rng, 0.0) for _ in range(2000)]
+        assert max(delays) > 4.0  # exponential tail exceeds any small bound
+        assert sum(delays) / len(delays) == pytest.approx(1.0, rel=0.2)
+
+    def test_weakly_synchronous_respects_gst(self):
+        sim = Simulator(seed=1)
+        ch = WeaklySynchronousChannel(gst=10.0, delta=1.0, pre_gst_mean=50.0)
+        post = [ch.delay("a", "b", None, sim.rng, 11.0) for _ in range(100)]
+        assert all(d <= 1.0 for d in post)
+        pre = [ch.delay("a", "b", None, sim.rng, 0.0) for _ in range(200)]
+        assert max(pre) > 1.0
+
+    def test_lossy_channel_drops_matching(self):
+        base = SynchronousChannel()
+        ch = LossyChannel(base, should_drop=lambda s, d, m, now: d == "victim")
+        sim = Simulator(seed=1)
+        assert ch.delay("a", "victim", None, sim.rng, 0.0) is DROP
+        assert ch.delay("a", "other", None, sim.rng, 0.0) is not DROP

@@ -1,0 +1,81 @@
+"""Tests for repro._util deterministic helpers."""
+
+import math
+
+import pytest
+
+from repro._util import (
+    pairwise_unordered,
+    prf_uint64,
+    prf_unit,
+    require,
+    sha256_hex,
+    stable_repr,
+)
+
+
+class TestStableRepr:
+    def test_primitives_distinct(self):
+        values = [None, True, False, 0, 1, -1, 0.0, 1.5, "a", b"a", (), (1,)]
+        encodings = [stable_repr(v) for v in values]
+        assert len(set(encodings)) == len(values)
+
+    def test_int_vs_str_not_confused(self):
+        assert stable_repr(1) != stable_repr("1")
+
+    def test_bool_vs_int_not_confused(self):
+        assert stable_repr(True) != stable_repr(1)
+
+    def test_nested_structures(self):
+        a = stable_repr((1, (2, 3)))
+        b = stable_repr((1, 2, 3))
+        assert a != b
+
+    def test_dict_order_independent(self):
+        assert stable_repr({"a": 1, "b": 2}) == stable_repr({"b": 2, "a": 1})
+
+    def test_set_order_independent(self):
+        assert stable_repr({1, 2, 3}) == stable_repr({3, 2, 1})
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            stable_repr(object())
+
+
+class TestPrf:
+    def test_deterministic(self):
+        assert prf_uint64("x", 1) == prf_uint64("x", 1)
+        assert prf_unit("x", 1) == prf_unit("x", 1)
+
+    def test_sensitive_to_inputs(self):
+        assert prf_uint64("x", 1) != prf_uint64("x", 2)
+
+    def test_unit_range(self):
+        for i in range(200):
+            u = prf_unit("range", i)
+            assert 0.0 <= u < 1.0
+
+    def test_unit_roughly_uniform(self):
+        n = 2000
+        mean = sum(prf_unit("uniform", i) for i in range(n)) / n
+        assert math.isclose(mean, 0.5, abs_tol=0.05)
+
+    def test_sha256_hex_shape(self):
+        digest = sha256_hex("a", 1, (2, 3))
+        assert len(digest) == 64
+        assert all(c in "0123456789abcdef" for c in digest)
+
+
+class TestSmallHelpers:
+    def test_require_passes(self):
+        require(True, "never")
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_pairwise_unordered_count(self):
+        pairs = list(pairwise_unordered([1, 2, 3, 4]))
+        assert len(pairs) == 6
+        assert (1, 2) in pairs and (3, 4) in pairs
+        assert (2, 1) not in pairs

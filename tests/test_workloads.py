@@ -1,0 +1,128 @@
+"""Tests for transactions, the chain validator, and scenarios."""
+
+import pytest
+
+from repro.blocktree import Chain, GENESIS, make_block
+from repro.workloads import (
+    ChainValidator,
+    ProtocolScenario,
+    Transaction,
+    TransactionGenerator,
+    default_scenarios,
+)
+
+
+class TestTransaction:
+    def test_content_derived_id(self):
+        t1 = Transaction.make(("a",), ("b",), "alice")
+        t2 = Transaction.make(("a",), ("b",), "alice")
+        assert t1.tx_id == t2.tx_id
+
+    def test_coinbase(self):
+        assert Transaction.make((), ("c",)).is_coinbase
+        assert not Transaction.make(("a",), ("c",)).is_coinbase
+
+    def test_distinct_issuers_distinct_ids(self):
+        assert (
+            Transaction.make(("a",), ("b",), "alice").tx_id
+            != Transaction.make(("a",), ("b",), "bob").tx_id
+        )
+
+
+class TestGenerator:
+    def test_deterministic_stream(self):
+        g1 = TransactionGenerator(seed=5)
+        g2 = TransactionGenerator(seed=5)
+        assert [t.tx_id for t in g1.batch(20)] == [t.tx_id for t in g2.batch(20)]
+
+    def test_valid_stream_validates(self):
+        gen = TransactionGenerator(seed=7)
+        validator = ChainValidator()
+        chain = Chain.genesis()
+        for i in range(5):
+            block = make_block(chain.tip, label=str(i), payload=gen.batch(4))
+            chain = chain.extend(block)
+        assert validator.chain_valid(chain)
+
+    def test_double_spend_injection_detected(self):
+        gen = TransactionGenerator(seed=7, double_spend_rate=1.0)
+        validator = ChainValidator()
+        # Prime the spent set, then force re-spends.
+        first = gen.batch(3)
+        rest = gen.batch(10)
+        chain = Chain.genesis().extend(
+            make_block(GENESIS, label="a", payload=first + rest)
+        )
+        assert not validator.chain_valid(chain)
+
+    def test_coinbase_refill_when_unspent_exhausted(self):
+        gen = TransactionGenerator(seed=1)
+        gen._unspent = []
+        tx = gen.next_transaction()
+        assert tx.is_coinbase
+
+
+class TestChainValidator:
+    def test_unknown_input_rejected(self):
+        validator = ChainValidator()
+        tx = Transaction.make(("never-minted",), ("out1",))
+        block = make_block(GENESIS, label="x", payload=(tx,))
+        assert not validator.chain_valid(Chain.genesis().extend(block))
+
+    def test_spend_then_respend_across_blocks_rejected(self):
+        validator = ChainValidator()
+        tx1 = Transaction.make(("genesis-coin-0",), ("c1",))
+        tx2 = Transaction.make(("genesis-coin-0",), ("c2",))
+        b1 = make_block(GENESIS, label="1", payload=(tx1,))
+        b2 = make_block(b1, label="2", payload=(tx2,))
+        assert not validator.chain_valid(Chain.of([GENESIS, b1, b2]))
+
+    def test_spending_minted_coin_ok(self):
+        validator = ChainValidator()
+        tx1 = Transaction.make(("genesis-coin-0",), ("fresh",))
+        tx2 = Transaction.make(("fresh",), ("newer",))
+        b1 = make_block(GENESIS, label="1", payload=(tx1,))
+        b2 = make_block(b1, label="2", payload=(tx2,))
+        assert validator.chain_valid(Chain.of([GENESIS, b1, b2]))
+
+    def test_block_valid_in_context(self):
+        validator = ChainValidator()
+        tx1 = Transaction.make(("genesis-coin-0",), ("fresh",))
+        b1 = make_block(GENESIS, label="1", payload=(tx1,))
+        prefix = Chain.of([GENESIS, b1])
+        ok_payload = (Transaction.make(("fresh",), ("x",)),)
+        bad_payload = (Transaction.make(("genesis-coin-0",), ("y",)),)
+        assert validator.block_valid_in_context(prefix, ok_payload)
+        assert not validator.block_valid_in_context(prefix, bad_payload)
+
+    def test_reminting_rejected(self):
+        validator = ChainValidator()
+        tx1 = Transaction.make(("genesis-coin-0",), ("dup",))
+        tx2 = Transaction.make(("genesis-coin-1",), ("dup",))
+        block = make_block(GENESIS, label="1", payload=(tx1, tx2))
+        assert not validator.chain_valid(Chain.genesis().extend(block))
+
+
+class TestScenarios:
+    def test_default_scenarios_cover_table1(self):
+        scenarios = default_scenarios()
+        assert set(scenarios) == {
+            "bitcoin",
+            "ethereum",
+            "byzcoin",
+            "algorand",
+            "peercensus",
+            "redbelly",
+            "hyperledger",
+        }
+
+    def test_uniform_merit_default(self):
+        s = ProtocolScenario(name="x", n_nodes=4)
+        assert s.merit_of(0) == pytest.approx(0.25)
+
+    def test_explicit_merits(self):
+        s = ProtocolScenario(name="x", n_nodes=2, merits=(0.9, 0.1))
+        assert s.merit_of(0) == 0.9 and s.merit_of(1) == 0.1
+
+    def test_node_names(self):
+        assert ProtocolScenario(name="x", n_nodes=3).node_names() == ("p0", "p1", "p2")
