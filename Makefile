@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench-perf bench-all
+
+## Tier-1: the full unit/property/differential suite (fast, no benches).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## One un-measured pass over every bench (what CI runs).
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
+
+## Measured perf-core benches (incremental fork-choice gates included),
+## emitting BENCH_perf_core.json for regression tracking.
+bench-perf:
+	$(PYTHON) -m pytest benchmarks/test_bench_perf_core.py -q \
+		--benchmark-enable --benchmark-json=BENCH_perf_core.json
+
+## Every paper-figure bench, measured, one JSON per run.
+bench-all:
+	$(PYTHON) -m pytest benchmarks/ -q \
+		--benchmark-enable --benchmark-json=BENCH_all.json

@@ -42,6 +42,13 @@ from repro.blocktree.selection import (
     SelectionFunction,
 )
 from repro.blocktree.bt_adt import Append, BTADT, BTState, Read
+from repro.blocktree.reference import (
+    RESCAN_RULES,
+    rescan_chain_to,
+    rescan_ghost,
+    rescan_heaviest,
+    rescan_longest,
+)
 
 __all__ = [
     "GENESIS",
@@ -65,4 +72,9 @@ __all__ = [
     "BTState",
     "Append",
     "Read",
+    "RESCAN_RULES",
+    "rescan_chain_to",
+    "rescan_longest",
+    "rescan_heaviest",
+    "rescan_ghost",
 ]

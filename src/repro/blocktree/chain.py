@@ -44,6 +44,18 @@ class Chain:
     # -- constructors ---------------------------------------------------
 
     @staticmethod
+    def _unchecked(blocks: Tuple[Block, ...]) -> "Chain":
+        """Construct without re-validating links.
+
+        Reserved for callers that already hold a proven genesis→leaf
+        path (``BlockTree.chain_to`` splices cached prefixes): skipping
+        the O(n) ``__post_init__`` walk is what makes cached reads O(Δ).
+        """
+        chain = object.__new__(Chain)
+        object.__setattr__(chain, "blocks", blocks)
+        return chain
+
+    @staticmethod
     def genesis() -> "Chain":
         """The trivial chain ``{b0}``."""
         return Chain((GENESIS,))

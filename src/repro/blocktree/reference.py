@@ -1,0 +1,81 @@
+"""Full-rescan reference implementations of the selection functions.
+
+These are the pre-incremental-engine algorithms, kept verbatim as the
+*oracle* for differential testing and as the baseline the perf benches
+compare against: every rule rescans the whole tree on each call and the
+chain is rebuilt by walking parent pointers to the root and re-validated
+by the checking ``Chain`` constructor.
+
+The incremental indices in :class:`~repro.blocktree.tree.BlockTree` must
+agree with these byte-for-byte on every tree — including lexicographic
+tie-breaks and insertion-order ties — which
+``tests/test_selection_differential.py`` asserts on randomized trees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.blocktree.block import Block
+from repro.blocktree.chain import Chain
+from repro.blocktree.selection import lexicographic_max
+from repro.blocktree.tree import BlockTree
+
+__all__ = [
+    "rescan_chain_to",
+    "rescan_longest",
+    "rescan_heaviest",
+    "rescan_ghost",
+    "RESCAN_RULES",
+]
+
+Tiebreak = Callable[[List[Block]], Block]
+
+
+def rescan_chain_to(tree: BlockTree, block_id: str) -> Chain:
+    """Rebuild the genesis→``block_id`` chain without any caching."""
+    path: List[Block] = []
+    cursor: str | None = block_id
+    while cursor is not None:
+        block = tree.get(cursor)
+        path.append(block)
+        cursor = block.parent_id
+    path.reverse()
+    return Chain(tuple(path))
+
+
+def rescan_longest(tree: BlockTree, tiebreak: Tiebreak = lexicographic_max) -> Chain:
+    """The original longest-chain rule: scan every leaf on every call."""
+    leaves = tree.leaves()
+    best_height = max(tree.height(b.block_id) for b in leaves)
+    best = [b for b in leaves if tree.height(b.block_id) == best_height]
+    return rescan_chain_to(tree, tiebreak(best).block_id)
+
+
+def rescan_heaviest(tree: BlockTree, tiebreak: Tiebreak = lexicographic_max) -> Chain:
+    """The original heaviest-chain rule: scan every leaf on every call."""
+    leaves = tree.leaves()
+    best_weight = max(tree.chain_weight(b.block_id) for b in leaves)
+    best = [b for b in leaves if tree.chain_weight(b.block_id) == best_weight]
+    return rescan_chain_to(tree, tiebreak(best).block_id)
+
+
+def rescan_ghost(tree: BlockTree, tiebreak: Tiebreak = lexicographic_max) -> Chain:
+    """The original GHOST walk: re-compare all children at every level."""
+    cursor = tree.genesis
+    while True:
+        children = list(tree.children(cursor.block_id))
+        if not children:
+            return rescan_chain_to(tree, cursor.block_id)
+        best_weight = max(tree.subtree_weight(c.block_id) for c in children)
+        best = [
+            c for c in children if tree.subtree_weight(c.block_id) == best_weight
+        ]
+        cursor = tiebreak(best)
+
+
+RESCAN_RULES = {
+    "longest": rescan_longest,
+    "heaviest": rescan_heaviest,
+    "ghost": rescan_ghost,
+}

@@ -65,6 +65,9 @@ class LongestChain(SelectionFunction):
     tiebreak: Callable[[list[Block]], Block] = field(default=lexicographic_max)
 
     def select(self, tree: BlockTree) -> Chain:
+        if self.tiebreak is lexicographic_max:
+            # Fast path: the tree maintains this argmax incrementally.
+            return tree.chain_to(tree.best_leaf_by_height().block_id)
         leaves = tree.leaves()
         best_height = max(tree.height(b.block_id) for b in leaves)
         best = [b for b in leaves if tree.height(b.block_id) == best_height]
@@ -79,6 +82,8 @@ class HeaviestChain(SelectionFunction):
     tiebreak: Callable[[list[Block]], Block] = field(default=lexicographic_max)
 
     def select(self, tree: BlockTree) -> Chain:
+        if self.tiebreak is lexicographic_max:
+            return tree.chain_to(tree.best_leaf_by_weight().block_id)
         leaves = tree.leaves()
         best_weight = max(tree.chain_weight(b.block_id) for b in leaves)
         best = [
@@ -102,6 +107,8 @@ class GHOSTSelection(SelectionFunction):
     tiebreak: Callable[[list[Block]], Block] = field(default=lexicographic_max)
 
     def select(self, tree: BlockTree) -> Chain:
+        if self.tiebreak is lexicographic_max:
+            return tree.chain_to(tree.ghost_leaf().block_id)
         cursor = tree.genesis
         while True:
             children = list(tree.children(cursor.block_id))

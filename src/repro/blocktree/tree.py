@@ -4,16 +4,58 @@
 and by every protocol node in the network simulator.  It maintains, per
 block: parent/children maps, the height (distance to the root), the
 cumulative chain weight (for heaviest-chain selection) and the *subtree*
-weight (for GHOST).  All maintenance is incremental so appends are O(depth)
-at worst (subtree-weight updates walk to the root) and O(1) otherwise.
+weight (for GHOST).
 
-A frozen snapshot (:meth:`BlockTree.freeze`) provides a hashable value for
-sequential-specification checking of the BT-ADT.
+Incremental fork-choice design note
+-----------------------------------
+
+``read()`` of the BT-ADT is exactly the selection function ``f(bt)``, so
+it is the hottest path of every protocol node and every bench.  The tree
+therefore maintains *per-selection-rule indices* so that repeated reads
+on a growing tree cost near O(Δ) instead of a full rescan:
+
+* **Best-leaf heaps** (longest / heaviest rules).  Every inserted block
+  is pushed onto two lazy max-heaps keyed by ``(height, tie-key)`` and
+  ``(chain weight, tie-key)`` where the tie-key is the paper's
+  lexicographic label order.  Entries are never updated in place; a heap
+  top is *stale* exactly when its block is no longer a leaf (a block's
+  height and chain weight are immutable), so a query pops stale tops and
+  returns the first live one — amortized O(log n) over the tree's life,
+  O(1) per query in steady state.
+
+* **Best-child pointers** (GHOST).  Subtree weights change for every
+  ancestor of an appended block, which would make eager maintenance
+  O(depth) per append (quadratic on a growing chain).  Appends instead
+  cost O(1): the new block is queued on a *weight backlog* and flushed
+  lazily when a subtree weight is actually observed.  The flush is
+  adaptive: a small backlog propagates each entry up its ancestor path,
+  challenge-updating ``best_child`` on the way (only the on-path child's
+  weight grew, so a local comparison suffices); a large backlog triggers
+  a single O(n) reverse-insertion-order sweep that rebuilds all subtree
+  weights and best-child pointers.  The GHOST winner leaf is cached and
+  only re-walked when some best-child pointer actually changed; the
+  common "new block extends the current winner" case updates it in O(1).
+
+* **Chain cache.**  ``chain_to`` keeps a small LRU of recently returned
+  chains.  A path to the root never changes once a block is inserted, so
+  cached chains are valid forever; a new read walks only the Δ suffix to
+  the nearest cached ancestor and splices it onto the cached prefix via
+  a trusted (validation-free) ``Chain`` constructor.
+
+The indices reproduce the selection semantics of the full-rescan
+implementations *byte-for-byte* (see :mod:`repro.blocktree.reference`
+and the differential tests): ties break on the lexicographic tie-key and
+then on insertion order exactly as the original leaf scans did.
+
+A frozen snapshot (:meth:`BlockTree.freeze`) provides a hashable value
+for sequential-specification checking of the BT-ADT.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+import heapq
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.blocktree.block import GENESIS, Block
 from repro.blocktree.chain import Chain
@@ -21,8 +63,28 @@ from repro.blocktree.chain import Chain
 __all__ = ["BlockTree"]
 
 
+class _RevKey:
+    """Wrap a string so heapq's min-order becomes lexicographic max-order."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_RevKey") -> bool:
+        return self.value > other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _RevKey) and self.value == other.value
+
+
+def _tie_key(block: Block) -> str:
+    """The paper's tie-break key: label when present, else the id."""
+    return block.label or block.block_id
+
+
 class BlockTree:
-    """A rooted tree of blocks with incremental weight bookkeeping.
+    """A rooted tree of blocks with incremental fork-choice indices.
 
     The tree always contains the genesis block.  ``add_block`` refuses
     blocks whose parent is absent (protocol nodes buffer such *orphans*
@@ -30,16 +92,33 @@ class BlockTree:
     blocks already present.
     """
 
+    _CHAIN_CACHE_LIMIT = 16
+
     def __init__(self, genesis: Block = GENESIS) -> None:
         if not genesis.is_genesis:
             raise ValueError("BlockTree root must be a genesis block")
         self.genesis = genesis
-        self._blocks: Dict[str, Block] = {genesis.block_id: genesis}
-        self._children: Dict[str, List[str]] = {genesis.block_id: []}
-        self._height: Dict[str, int] = {genesis.block_id: 0}
-        self._chain_weight: Dict[str, float] = {genesis.block_id: 0.0}
-        self._subtree_weight: Dict[str, float] = {genesis.block_id: 0.0}
-        self._leaves: Set[str] = {genesis.block_id}
+        gid = genesis.block_id
+        self._blocks: Dict[str, Block] = {gid: genesis}
+        self._children: Dict[str, List[str]] = {gid: []}
+        self._height: Dict[str, int] = {gid: 0}
+        self._chain_weight: Dict[str, float] = {gid: 0.0}
+        self._subtree_weight: Dict[str, float] = {gid: 0.0}
+        self._leaves: Set[str] = {gid}
+        # -- incremental fork-choice indices (see module docstring) --------
+        self._tie_keys: Dict[str, str] = {gid: _tie_key(genesis)}
+        self._height_heap: List[Tuple[int, _RevKey, str]] = [
+            (0, _RevKey(self._tie_keys[gid]), gid)
+        ]
+        self._weight_heap: List[Tuple[float, _RevKey, str]] = [
+            (0.0, _RevKey(self._tie_keys[gid]), gid)
+        ]
+        self._best_child: Dict[str, Optional[str]] = {gid: None}
+        self._sibling_index: Dict[str, int] = {gid: 0}
+        self._weight_backlog: List[Block] = []
+        self._ghost_leaf: str = gid
+        self._ghost_dirty: bool = False
+        self._chain_cache: "OrderedDict[str, Chain]" = OrderedDict()
 
     # -- queries ----------------------------------------------------------
 
@@ -72,6 +151,7 @@ class BlockTree:
 
     def subtree_weight(self, block_id: str) -> float:
         """Total weight of the subtree rooted at ``block_id`` (GHOST metric)."""
+        self._flush_weights()
         return self._subtree_weight[block_id]
 
     def leaves(self) -> Tuple[Block, ...]:
@@ -86,6 +166,119 @@ class BlockTree:
         """The maximum fork degree over all blocks (k-fork coherence witness)."""
         return max((len(v) for v in self._children.values()), default=0)
 
+    # -- incremental fork-choice indices ----------------------------------
+
+    def best_leaf_by_height(self) -> Block:
+        """The leaf the longest-chain rule selects (lexicographic ties)."""
+        heap = self._height_heap
+        leaves = self._leaves
+        while heap[0][2] not in leaves:
+            heapq.heappop(heap)
+        return self._blocks[heap[0][2]]
+
+    def best_leaf_by_weight(self) -> Block:
+        """The leaf the heaviest-chain rule selects (lexicographic ties)."""
+        heap = self._weight_heap
+        leaves = self._leaves
+        while heap[0][2] not in leaves:
+            heapq.heappop(heap)
+        return self._blocks[heap[0][2]]
+
+    def best_child(self, block_id: str) -> Optional[Block]:
+        """The child GHOST descends into from ``block_id`` (None at leaves)."""
+        self._flush_weights()
+        child = self._best_child[block_id]
+        return None if child is None else self._blocks[child]
+
+    def ghost_leaf(self) -> Block:
+        """The leaf the GHOST rule selects (lexicographic ties)."""
+        self._flush_weights()
+        if self._ghost_dirty:
+            best_child = self._best_child
+            cursor = self.genesis.block_id
+            while True:
+                nxt = best_child[cursor]
+                if nxt is None:
+                    break
+                cursor = nxt
+            self._ghost_leaf = cursor
+            self._ghost_dirty = False
+        return self._blocks[self._ghost_leaf]
+
+    def _flush_weights(self) -> None:
+        """Apply the append backlog to subtree weights and GHOST indices."""
+        backlog = self._weight_backlog
+        if not backlog:
+            return
+        self._weight_backlog = []
+        n = len(self._blocks)
+        height = self._height
+        # Per-entry propagation walks each new block's ancestor path; a
+        # full sweep costs one pass over the tree.  Pick the cheaper one.
+        estimated = 0
+        for block in backlog:
+            estimated += height[block.block_id]
+            if estimated > 2 * n:
+                self._full_weight_sweep()
+                return
+        sub = self._subtree_weight
+        blocks = self._blocks
+        best_child = self._best_child
+        keys = self._tie_keys
+        for block in backlog:
+            w = block.weight
+            child = block.block_id
+            cursor = block.parent_id
+            while cursor is not None:
+                sub[cursor] += w
+                incumbent = best_child[cursor]
+                if incumbent != child:
+                    if incumbent is None:
+                        best_child[cursor] = child
+                        # The cursor was a leaf gaining its first child: if
+                        # it was the GHOST winner, the winner just extends.
+                        if not self._ghost_dirty and cursor == self._ghost_leaf:
+                            self._ghost_leaf = child
+                        else:
+                            self._ghost_dirty = True
+                    else:
+                        # Ties replay the rescan semantics: max weight, then
+                        # max tie-key, then *first-inserted* sibling — the
+                        # incumbent may be a later sibling the on-path child
+                        # has just caught up with.
+                        order = self._sibling_index
+                        if (sub[child], keys[child], -order[child]) > (
+                            sub[incumbent],
+                            keys[incumbent],
+                            -order[incumbent],
+                        ):
+                            best_child[cursor] = child
+                            self._ghost_dirty = True
+                child = cursor
+                cursor = blocks[cursor].parent_id
+
+    def _full_weight_sweep(self) -> None:
+        """Rebuild subtree weights and best-child pointers in O(n)."""
+        blocks = self._blocks
+        sub = {bid: blk.weight for bid, blk in blocks.items()}
+        # The genesis convention: its own weight never counts (see __init__).
+        sub[self.genesis.block_id] = 0.0
+        for bid, blk in reversed(list(blocks.items())):
+            pid = blk.parent_id
+            if pid is not None:
+                sub[pid] += sub[bid]
+        keys = self._tie_keys
+        best_child: Dict[str, Optional[str]] = {}
+        for pid, kids in self._children.items():
+            best: Optional[str] = None
+            for kid in kids:
+                if best is None or (sub[kid], keys[kid]) > (sub[best], keys[best]):
+                    best = kid
+            best_child[pid] = best
+        self._subtree_weight = sub
+        self._best_child = best_child
+        self._ghost_dirty = True
+
     # -- mutation ---------------------------------------------------------
 
     def add_block(self, block: Block) -> bool:
@@ -94,27 +287,36 @@ class BlockTree:
         Returns ``True`` if the block was inserted, ``False`` if it was
         already present.  Raises ``KeyError`` if the parent is unknown —
         callers that receive blocks out of order must hold them back.
+
+        Appends are O(1) amortized: the expensive GHOST bookkeeping is
+        deferred to the next subtree-weight observation (see the module
+        docstring's design note).
         """
-        if block.block_id in self._blocks:
+        bid = block.block_id
+        if bid in self._blocks:
             return False
         if block.parent_id is None:
             raise ValueError("cannot insert a second genesis block")
         if block.parent_id not in self._blocks:
             raise KeyError(f"parent {block.parent_id!r} not in tree")
         parent_id = block.parent_id
-        self._blocks[block.block_id] = block
-        self._children[block.block_id] = []
-        self._children[parent_id].append(block.block_id)
-        self._height[block.block_id] = self._height[parent_id] + 1
-        self._chain_weight[block.block_id] = self._chain_weight[parent_id] + block.weight
-        self._subtree_weight[block.block_id] = block.weight
-        # Propagate the new weight up to the root (GHOST bookkeeping).
-        cursor = parent_id
-        while cursor is not None:
-            self._subtree_weight[cursor] += block.weight
-            cursor = self._blocks[cursor].parent_id
+        self._blocks[bid] = block
+        self._children[bid] = []
+        self._sibling_index[bid] = len(self._children[parent_id])
+        self._children[parent_id].append(bid)
+        height = self._height[parent_id] + 1
+        self._height[bid] = height
+        chain_weight = self._chain_weight[parent_id] + block.weight
+        self._chain_weight[bid] = chain_weight
+        self._subtree_weight[bid] = block.weight
+        self._best_child[bid] = None
+        key = _tie_key(block)
+        self._tie_keys[bid] = key
+        heapq.heappush(self._height_heap, (-height, _RevKey(key), bid))
+        heapq.heappush(self._weight_heap, (-chain_weight, _RevKey(key), bid))
+        self._weight_backlog.append(block)
         self._leaves.discard(parent_id)
-        self._leaves.add(block.block_id)
+        self._leaves.add(bid)
         return True
 
     def add_chain(self, chain: Chain) -> int:
@@ -128,20 +330,45 @@ class BlockTree:
     # -- chain extraction ---------------------------------------------------
 
     def chain_to(self, block_id: str) -> Chain:
-        """The blockchain from genesis to ``block_id``."""
-        path: List[Block] = []
-        cursor: str | None = block_id
+        """The blockchain from genesis to ``block_id``.
+
+        Reuses cached path segments: only the suffix below the nearest
+        previously returned chain is walked (paths to the root never
+        change, so cache entries stay valid forever).
+        """
+        cache = self._chain_cache
+        hit = cache.get(block_id)
+        if hit is not None:
+            cache.move_to_end(block_id)
+            return hit
+        blocks = self._blocks
+        suffix: List[Block] = []
+        cursor: Optional[str] = block_id
+        base: Optional[Chain] = None
         while cursor is not None:
-            block = self._blocks[cursor]
-            path.append(block)
+            cached = cache.get(cursor)
+            if cached is not None:
+                base = cached
+                break
+            block = blocks[cursor]
+            suffix.append(block)
             cursor = block.parent_id
-        path.reverse()
-        return Chain(tuple(path))
+        suffix.reverse()
+        if base is not None:
+            path = base.blocks + tuple(suffix)
+        else:
+            path = tuple(suffix)
+        chain = Chain._unchecked(path)
+        cache[block_id] = chain
+        if len(cache) > self._CHAIN_CACHE_LIMIT:
+            cache.popitem(last=False)
+        return chain
 
     # -- persistence ---------------------------------------------------------
 
     def copy(self) -> "BlockTree":
         """An independent copy of this tree (same Block objects)."""
+        self._flush_weights()
         clone = BlockTree(self.genesis)
         clone._blocks = dict(self._blocks)
         clone._children = {k: list(v) for k, v in self._children.items()}
@@ -149,6 +376,15 @@ class BlockTree:
         clone._chain_weight = dict(self._chain_weight)
         clone._subtree_weight = dict(self._subtree_weight)
         clone._leaves = set(self._leaves)
+        clone._tie_keys = dict(self._tie_keys)
+        clone._sibling_index = dict(self._sibling_index)
+        clone._height_heap = list(self._height_heap)
+        clone._weight_heap = list(self._weight_heap)
+        clone._best_child = dict(self._best_child)
+        clone._weight_backlog = []
+        clone._ghost_leaf = self._ghost_leaf
+        clone._ghost_dirty = self._ghost_dirty
+        clone._chain_cache = OrderedDict(self._chain_cache)
         return clone
 
     def freeze(self) -> Tuple[Tuple[str, str], ...]:

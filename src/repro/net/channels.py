@@ -26,6 +26,7 @@ __all__ = [
     "SynchronousChannel",
     "AsynchronousChannel",
     "WeaklySynchronousChannel",
+    "DelayedChannel",
     "LossyChannel",
 ]
 
@@ -88,6 +89,32 @@ class WeaklySynchronousChannel(ChannelModel):
         if now < self.gst:
             return rng.expovariate(1.0 / self.pre_gst_mean)
         return rng.uniform(self.min_delay, self.delta)
+
+
+@dataclass
+class DelayedChannel(ChannelModel):
+    """Wrap a base channel with a selective extra delay.
+
+    Messages matching ``should_delay(src, dst, message, now)`` arrive
+    ``extra_delay`` later than the base channel would deliver them.
+    This is the *withholding* adversary: a selfish miner that sits on
+    its own blocks long enough for honest miners to fork is exactly a
+    gossip path with a large selective delay.
+    """
+
+    inner: ChannelModel
+    should_delay: Callable[[str, str, Any, float], bool]
+    extra_delay: float = 10.0
+    delayed: int = 0
+
+    def delay(self, src, dst, message, rng, now):
+        base = self.inner.delay(src, dst, message, rng, now)
+        if base is DROP:
+            return base
+        if self.should_delay(src, dst, message, now):
+            self.delayed += 1
+            return base + self.extra_delay
+        return base
 
 
 @dataclass

@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, FrozenSet, Optional, Tuple
 
-__all__ = ["MessageDropAdversary", "PartitionAdversary"]
+__all__ = [
+    "MessageDropAdversary",
+    "PartitionAdversary",
+    "ChurnAdversary",
+    "CompositeDrop",
+]
 
 
 @dataclass
@@ -51,11 +56,13 @@ class PartitionAdversary:
 
     ``groups`` is a tuple of disjoint process-name sets; messages within
     one group pass, messages across groups are dropped while the
-    partition holds.  ``heal_at=None`` never heals.
+    partition holds — from ``start_at`` until ``heal_at``
+    (``heal_at=None`` never heals).
     """
 
     groups: Tuple[FrozenSet[str], ...]
     heal_at: Optional[float] = None
+    start_at: float = 0.0
     dropped: int = 0
 
     def _group_of(self, name: str) -> int:
@@ -65,9 +72,52 @@ class PartitionAdversary:
         return -1
 
     def __call__(self, src: str, dst: str, message: Any, now: float) -> bool:
+        if now < self.start_at:
+            return False
         if self.heal_at is not None and now >= self.heal_at:
             return False
         if self._group_of(src) != self._group_of(dst):
             self.dropped += 1
             return True
+        return False
+
+
+@dataclass
+class ChurnAdversary:
+    """Model node churn: while a node is offline, isolate it entirely.
+
+    ``windows`` holds ``(node, leave_at, rejoin_at)`` triples
+    (``rejoin_at=None`` = never returns).  Messages to *or* from an
+    offline node are dropped — the process keeps running but is cut off,
+    which is how crash-recovery churn looks to its peers.
+    """
+
+    windows: Tuple[Tuple[str, float, Optional[float]], ...]
+    dropped: int = 0
+
+    def _offline(self, name: str, now: float) -> bool:
+        for node, leave_at, rejoin_at in self.windows:
+            if node != name:
+                continue
+            if now >= leave_at and (rejoin_at is None or now < rejoin_at):
+                return True
+        return False
+
+    def __call__(self, src: str, dst: str, message: Any, now: float) -> bool:
+        if self._offline(src, now) or self._offline(dst, now):
+            self.dropped += 1
+            return True
+        return False
+
+
+@dataclass
+class CompositeDrop:
+    """OR-compose drop rules; the first matching rule claims the drop."""
+
+    rules: Tuple[Any, ...]
+
+    def __call__(self, src: str, dst: str, message: Any, now: float) -> bool:
+        for rule in self.rules:
+            if rule(src, dst, message, now):
+                return True
         return False

@@ -70,6 +70,30 @@ class Simulator:
                 self.now = max(self.now, until)
         return executed
 
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        until: Optional[float] = None,
+    ) -> None:
+        """Run ``callback`` every ``interval`` time units.
+
+        The first firing is at ``now + interval``; re-arming stops once
+        the *next* firing would land beyond ``until``.  Scenario metric
+        sampling (fork-degree/height time series during adversarial
+        runs) is built on this.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+
+        def tick() -> None:
+            callback()
+            if until is None or self.now + interval <= until:
+                self.schedule(interval, tick)
+
+        if until is None or self.now + interval <= until:
+            self.schedule(interval, tick)
+
     def pending(self) -> int:
         """Number of queued events."""
         return len(self._queue)

@@ -22,15 +22,15 @@ from repro.blocktree.selection import LongestChain, SelectionFunction
 from repro.blocktree.tree import BlockTree
 from repro.histories.continuation import ContinuationModel
 from repro.histories.history import ConcurrentHistory
-from repro.net.channels import ChannelModel, SynchronousChannel
+from repro.net.channels import ChannelModel
 from repro.net.process import Network, SimProcess
 from repro.net.simulator import Simulator
-from repro.workloads.scenarios import ProtocolScenario
+from repro.workloads.scenarios import GOSSIP_TAG, ProtocolScenario
 from repro.workloads.transactions import TransactionGenerator
 
 __all__ = ["BlockchainNode", "ProtocolRun"]
 
-BLOCK_GOSSIP = "block-gossip"
+BLOCK_GOSSIP = GOSSIP_TAG
 
 
 class BlockchainNode(SimProcess):
@@ -220,6 +220,12 @@ class ProtocolRun:
     nodes: List[BlockchainNode]
     network: Network
     simulator: Simulator
+    #: Live adversary objects built from an AdversarialScenario (their
+    #: dropped/delayed counters survive the run for inspection).
+    faults: Dict[str, Any] = field(default_factory=dict)
+    #: ``(time, max_fork_degree, max_height)`` time series, sampled every
+    #: ``scenario.metrics_interval`` when the scenario requests it.
+    samples: List[Tuple[float, int, int]] = field(default_factory=list)
 
     @property
     def node_names(self) -> List[str]:
@@ -261,13 +267,30 @@ class ProtocolRun:
         checkers.
         """
         sim = Simulator(seed=scenario.seed)
-        channel = channel or SynchronousChannel(delta=scenario.channel_delta)
+        faults: Dict[str, Any] = {}
+        if channel is None:
+            # The scenario compiles its own fault structure (partitions,
+            # churn, selfish withholding) into the channel stack.
+            channel, faults = scenario.build_channel()
         net = Network(sim, channel=channel)
         nodes = [
             net.register(node_cls(name, scenario)) for name in scenario.node_names()
         ]
         if configure is not None:
             configure(net, nodes)
+        samples: List[Tuple[float, int, int]] = []
+        if scenario.metrics_interval:
+            sim.every(
+                scenario.metrics_interval,
+                lambda: samples.append(
+                    (
+                        sim.now,
+                        max(n.tree.max_fork_degree() for n in nodes),
+                        max(n.tree.height(n.selected_tip().block_id) for n in nodes),
+                    )
+                ),
+                until=scenario.duration,
+            )
         net.start()
         sim.run(until=scenario.duration + settle)
         for node in nodes:
@@ -285,4 +308,6 @@ class ProtocolRun:
             nodes=nodes,
             network=net,
             simulator=sim,
+            faults=faults,
+            samples=samples,
         )

@@ -57,7 +57,8 @@ class BitcoinNode(BlockchainNode):
         """Arm the next block-find event: Exp(mean/α) from now."""
         if self.now >= self.scenario.duration:
             return
-        rate = self.merit / self.scenario.mean_block_interval
+        # block_interval_at applies any scenario traffic bursts in effect.
+        rate = self.merit / self.scenario.block_interval_at(self.now)
         delay = self.network.simulator.rng.expovariate(rate)
         self._mining_epoch += 1
         self.set_timer(delay, ("mine", self._mining_epoch))

@@ -78,7 +78,7 @@ class CommitteePoWNode(BlockchainNode):
     def _schedule_mining(self) -> None:
         if self.now >= self.scenario.duration:
             return
-        rate = self.merit / self.scenario.mean_block_interval
+        rate = self.merit / self.scenario.block_interval_at(self.now)
         delay = self.network.simulator.rng.expovariate(rate)
         self._mining_epoch += 1
         self.set_timer(delay, ("mine", self._mining_epoch))

@@ -1,17 +1,58 @@
-"""Standard experiment scenarios for the protocol benches.
+"""Experiment scenarios: Table-1 parameter sets, adversarial network
+scenarios and large-scale tree workloads.
 
-A :class:`ProtocolScenario` packages the knobs every Table 1 run needs:
-network size, merit/stake distribution, block production tempo, channel
-synchrony and duration.  ``default_scenarios`` returns the configurations
-the benches use, so EXPERIMENTS.md numbers are reproducible verbatim.
+Three layers, all deterministic per seed:
+
+* :class:`ProtocolScenario` — the knobs every Table 1 run needs: network
+  size, merit/stake distribution, block production tempo, channel
+  synchrony and duration.  ``default_scenarios`` returns the
+  configurations the benches use, so EXPERIMENTS numbers are
+  reproducible verbatim.
+
+* :class:`AdversarialScenario` — a ``ProtocolScenario`` plus fault
+  structure: network partitions that heal (or don't), node churn
+  windows, selfish miners that withhold their own blocks, traffic
+  bursts that compress the block interval, and Zipf-skewed merit
+  distributions.  :meth:`AdversarialScenario.build_channel` compiles the
+  fault structure into the channel/adversary stack of
+  :mod:`repro.net.channels` / :mod:`repro.net.faults`, so the protocol
+  benches and the consistency checkers run *the same scenario objects*.
+
+* :class:`TreeScenario` — a pure BlockTree workload generator for the
+  fork-choice engine: 10k–1M-block deterministic block streams with
+  parameterized fork rates, selfish-mining fork shapes, sibling bursts
+  and heavy-tailed weights.  These feed ``BlockTree.add_block`` directly
+  (no network) and are what the perf benches grow and read.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+import random
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["ProtocolScenario", "default_scenarios"]
+from repro.blocktree.block import GENESIS, Block, make_block
+from repro.blocktree.tree import BlockTree
+
+__all__ = [
+    "GOSSIP_TAG",
+    "ProtocolScenario",
+    "PartitionWindow",
+    "ChurnEvent",
+    "TrafficBurst",
+    "AdversarialScenario",
+    "TreeScenario",
+    "default_scenarios",
+    "adversarial_scenarios",
+    "tree_scenarios",
+    "skewed_merits",
+]
+
+#: Message tag used by block flooding in :mod:`repro.protocols.base`.
+#: Defined here so fault matchers can recognize gossip without importing
+#: the protocol layer (which imports this module).
+GOSSIP_TAG = "block-gossip"
 
 
 @dataclass(frozen=True)
@@ -30,6 +71,39 @@ class ProtocolScenario:
     round_length: float = 30.0
     read_on_update: bool = True
     pow_difficulty_bits: int = 0  # 0 disables real hash-puzzle validation
+    #: When > 0, ProtocolRun.execute samples a (time, max fork degree,
+    #: max height) series at this interval during the run.
+    metrics_interval: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject structurally impossible parameter sets."""
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.duration < 0:
+            # duration == 0 is a legal degenerate run: nothing is produced.
+            raise ValueError("duration must be >= 0")
+        if self.mean_block_interval <= 0 or self.read_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if self.round_length <= 0:
+            raise ValueError("round_length must be positive")
+        if self.channel_delta <= 0:
+            raise ValueError("channel_delta must be positive")
+        if self.tx_per_block < 0:
+            raise ValueError("tx_per_block must be >= 0")
+        if self.metrics_interval < 0:
+            raise ValueError("metrics_interval must be >= 0")
+        if self.merits is not None:
+            if len(self.merits) != self.n_nodes:
+                raise ValueError(
+                    f"merits has {len(self.merits)} entries for {self.n_nodes} nodes"
+                )
+            if any(m < 0 for m in self.merits):
+                raise ValueError("merits must be non-negative")
 
     def merit_of(self, index: int) -> float:
         """The merit α of node ``index`` (uniform when unspecified)."""
@@ -40,6 +114,353 @@ class ProtocolScenario:
     def node_names(self) -> Tuple[str, ...]:
         """The node identities ``p0 … p(n-1)``."""
         return tuple(f"p{i}" for i in range(self.n_nodes))
+
+    def block_interval_at(self, now: float) -> float:
+        """Mean block interval in effect at simulated time ``now``."""
+        return self.mean_block_interval
+
+    def build_channel(self) -> Tuple[Any, Dict[str, Any]]:
+        """The channel stack for this scenario plus fault handles.
+
+        The base scenario is fault-free: a synchronous channel and no
+        adversaries.  :class:`AdversarialScenario` overrides this.
+        """
+        from repro.net.channels import SynchronousChannel
+
+        return SynchronousChannel(delta=self.channel_delta), {}
+
+
+# -- adversarial fault structure --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A network split into ``groups`` from ``start`` until ``heal_at``.
+
+    ``heal_at=None`` never heals (the permanent-partition environment).
+    """
+
+    groups: Tuple[Tuple[str, ...], ...]
+    start: float = 0.0
+    heal_at: Optional[float] = None
+
+    def validate(self, node_names: Tuple[str, ...]) -> None:
+        if len(self.groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+        seen: set = set()
+        for group in self.groups:
+            for node in group:
+                if node not in node_names:
+                    raise ValueError(f"partition references unknown node {node!r}")
+                if node in seen:
+                    raise ValueError(f"node {node!r} appears in two partition groups")
+                seen.add(node)
+        if self.heal_at is not None and self.heal_at <= self.start:
+            raise ValueError("partition must heal after it starts")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """Node ``node`` is offline from ``leave_at`` until ``rejoin_at``.
+
+    While offline every message to or from the node is lost — the node's
+    process keeps running (its timers fire) but it is cut off, which is
+    how crash-recovery churn looks to the rest of the network.
+    ``rejoin_at=None`` means the node never comes back.
+    """
+
+    node: str
+    leave_at: float
+    rejoin_at: Optional[float] = None
+
+    def validate(self, node_names: Tuple[str, ...]) -> None:
+        if self.node not in node_names:
+            raise ValueError(f"churn references unknown node {self.node!r}")
+        if self.leave_at < 0:
+            raise ValueError("leave_at must be >= 0")
+        if self.rejoin_at is not None and self.rejoin_at <= self.leave_at:
+            raise ValueError("rejoin must happen after leave")
+
+
+@dataclass(frozen=True)
+class TrafficBurst:
+    """Block production accelerated by ``factor`` during a window."""
+
+    at: float
+    duration: float
+    factor: float = 4.0
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("burst duration must be positive")
+        if self.factor <= 0:
+            raise ValueError("burst factor must be positive")
+
+    def active(self, now: float) -> bool:
+        return self.at <= now < self.at + self.duration
+
+
+@dataclass(frozen=True)
+class AdversarialScenario(ProtocolScenario):
+    """A protocol scenario with explicit fault/adversary structure."""
+
+    partitions: Tuple[PartitionWindow, ...] = ()
+    churn: Tuple[ChurnEvent, ...] = ()
+    bursts: Tuple[TrafficBurst, ...] = ()
+    selfish_nodes: Tuple[str, ...] = ()
+    selfish_extra_delay: float = 15.0
+
+    def validate(self) -> None:
+        super().validate()
+        names = self.node_names()
+        for partition in self.partitions:
+            partition.validate(names)
+        for event in self.churn:
+            event.validate(names)
+        for burst in self.bursts:
+            burst.validate()
+        for node in self.selfish_nodes:
+            if node not in names:
+                raise ValueError(f"selfish node {node!r} is not in the network")
+        if self.selfish_extra_delay < 0:
+            raise ValueError("selfish_extra_delay must be >= 0")
+
+    def block_interval_at(self, now: float) -> float:
+        interval = self.mean_block_interval
+        for burst in self.bursts:
+            if burst.active(now):
+                interval /= burst.factor
+        return interval
+
+    def build_channel(self) -> Tuple[Any, Dict[str, Any]]:
+        """Compile the fault structure into a channel stack.
+
+        Returns ``(channel, faults)`` where ``faults`` holds the live
+        adversary objects (their drop/delay counters are inspectable
+        after the run through ``ProtocolRun.faults``).
+        """
+        from repro.net.channels import DelayedChannel, LossyChannel, SynchronousChannel
+        from repro.net.faults import ChurnAdversary, CompositeDrop, PartitionAdversary
+
+        channel: Any = SynchronousChannel(delta=self.channel_delta)
+        faults: Dict[str, Any] = {}
+        rules: List[Any] = []
+        if self.partitions:
+            adversaries = tuple(
+                PartitionAdversary(
+                    groups=tuple(frozenset(g) for g in window.groups),
+                    heal_at=window.heal_at,
+                    start_at=window.start,
+                )
+                for window in self.partitions
+            )
+            faults["partitions"] = adversaries
+            rules.extend(adversaries)
+        if self.churn:
+            churn = ChurnAdversary(
+                windows=tuple((e.node, e.leave_at, e.rejoin_at) for e in self.churn)
+            )
+            faults["churn"] = churn
+            rules.append(churn)
+        if rules:
+            drop = rules[0] if len(rules) == 1 else CompositeDrop(rules=tuple(rules))
+            channel = LossyChannel(inner=channel, should_drop=drop)
+        if self.selfish_nodes:
+            selfish = set(self.selfish_nodes)
+
+            def withholds(src: str, dst: str, message: Any, now: float) -> bool:
+                # Withhold only the miner's *own* blocks: forwarded
+                # honest blocks flow normally, which is what a selfish
+                # miner does.
+                if src not in selfish:
+                    return False
+                if not (
+                    isinstance(message, tuple)
+                    and len(message) == 3
+                    and message[0] == GOSSIP_TAG
+                ):
+                    return False
+                block = message[2]
+                creator = getattr(block, "creator", None)
+                return creator is not None and f"p{creator}" == src
+
+            channel = DelayedChannel(
+                inner=channel,
+                should_delay=withholds,
+                extra_delay=self.selfish_extra_delay,
+            )
+            faults["selfish"] = channel
+        return channel, faults
+
+
+def skewed_merits(n_nodes: int, exponent: float = 1.2, seed: int = 0) -> Tuple[float, ...]:
+    """A Zipf-skewed merit distribution, shuffled deterministically.
+
+    ``merit_i ∝ 1/rank^exponent`` normalized to sum to 1 — the
+    heterogeneous hash-power environment where one miner dominates.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if exponent < 0:
+        raise ValueError("exponent must be >= 0")
+    raw = [1.0 / (rank ** exponent) for rank in range(1, n_nodes + 1)]
+    rng = random.Random(seed)
+    rng.shuffle(raw)
+    total = sum(raw)
+    return tuple(w / total for w in raw)
+
+
+# -- tree-scale workloads -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TreeScenario:
+    """A deterministic large-scale BlockTree workload (no network).
+
+    ``blocks()`` yields ``n_blocks`` blocks in parent-before-child order
+    drawn from a seeded RNG, shaped by:
+
+    * ``fork_rate``/``fork_window`` — probability that an honest block
+      attaches to a random recent block instead of the tip, and how far
+      back it may reach;
+    * ``selfish_lead``/``selfish_power`` — a withholding adversary that
+      grows a private branch with probability ``selfish_power`` per slot
+      and overtakes the public chain whenever its lead reaches
+      ``selfish_lead`` (the classic selfish-mining fork shape);
+    * ``burst_every``/``burst_width`` — every ``burst_every``-th slot
+      emits ``burst_width`` sibling blocks under the same parent (bushy
+      GHOST stress, the burst-traffic shape);
+    * ``weight_profile`` — ``unit``, ``exponential`` or ``heavytail``
+      block weights (skewed work distributions).
+
+    Scenarios scale from 10k to 1M+ blocks: ``at_scale`` rescales
+    ``n_blocks`` without touching the shape parameters.
+    """
+
+    name: str
+    n_blocks: int
+    seed: int = 2024
+    fork_rate: float = 0.0
+    fork_window: int = 8
+    weight_profile: str = "unit"
+    selfish_lead: int = 0
+    selfish_power: float = 0.35
+    burst_every: int = 0
+    burst_width: int = 4
+
+    _WEIGHT_PROFILES = ("unit", "exponential", "heavytail")
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        if self.n_blocks < 1:
+            raise ValueError("n_blocks must be >= 1")
+        if not 0.0 <= self.fork_rate <= 1.0:
+            raise ValueError("fork_rate must be in [0, 1]")
+        if self.fork_window < 1:
+            raise ValueError("fork_window must be >= 1")
+        if self.weight_profile not in self._WEIGHT_PROFILES:
+            raise ValueError(
+                f"unknown weight_profile {self.weight_profile!r}; "
+                f"expected one of {self._WEIGHT_PROFILES}"
+            )
+        if self.selfish_lead < 0:
+            raise ValueError("selfish_lead must be >= 0")
+        if self.selfish_lead and not 0.0 < self.selfish_power < 1.0:
+            raise ValueError("selfish_power must be in (0, 1)")
+        if self.burst_every < 0:
+            raise ValueError("burst_every must be >= 0")
+        if self.burst_every and self.burst_width < 1:
+            raise ValueError("burst_width must be >= 1 when bursts are enabled")
+
+    def at_scale(self, n_blocks: int) -> "TreeScenario":
+        """The same workload shape at a different block count."""
+        return replace(self, n_blocks=n_blocks, name=f"{self.name}@{n_blocks}")
+
+    def _weight(self, rng: random.Random) -> float:
+        if self.weight_profile == "unit":
+            return 1.0
+        if self.weight_profile == "exponential":
+            return rng.expovariate(1.0)
+        return rng.paretovariate(2.0)
+
+    def blocks(self) -> Iterator[Block]:
+        """Yield the workload's blocks (deterministic per seed)."""
+        rng = random.Random(self.seed)
+        heights: Dict[str, int] = {GENESIS.block_id: 0}
+        recent: deque = deque([GENESIS], maxlen=self.fork_window)
+        public_tip = GENESIS
+        private_tip: Optional[Block] = None
+        emitted = 0
+
+        def emit(parent: Block, tag: str, creator: int) -> Block:
+            nonlocal emitted
+            block = make_block(
+                parent,
+                label=f"{self.name}/{tag}{emitted}",
+                creator=creator,
+                weight=self._weight(rng),
+            )
+            heights[block.block_id] = heights[parent.block_id] + 1
+            emitted += 1
+            return block
+
+        while emitted < self.n_blocks:
+            if self.selfish_lead and rng.random() < self.selfish_power:
+                base = private_tip if private_tip is not None else public_tip
+                block = emit(base, "a", creator=-1)
+                private_tip = block
+                yield block
+                if (
+                    heights[private_tip.block_id]
+                    >= heights[public_tip.block_id] + self.selfish_lead
+                ):
+                    # Reveal: the private branch overtakes and becomes public.
+                    public_tip = private_tip
+                    private_tip = None
+                    recent.append(public_tip)
+                continue
+            if self.burst_every and emitted and emitted % self.burst_every == 0:
+                parent = public_tip
+                for _ in range(min(self.burst_width, self.n_blocks - emitted)):
+                    block = emit(parent, "b", creator=1)
+                    yield block
+                    recent.append(block)
+                    if heights[block.block_id] > heights[public_tip.block_id]:
+                        public_tip = block
+                continue
+            if self.fork_rate and len(recent) > 1 and rng.random() < self.fork_rate:
+                parent = recent[rng.randrange(len(recent))]
+            else:
+                parent = public_tip
+            block = emit(parent, "h", creator=0)
+            yield block
+            recent.append(block)
+            if heights[block.block_id] > heights[public_tip.block_id]:
+                public_tip = block
+
+    def build(
+        self,
+        tree: Optional[BlockTree] = None,
+        on_block: Optional[Callable[[BlockTree, Block], None]] = None,
+    ) -> BlockTree:
+        """Grow ``tree`` (a fresh one by default) with the workload.
+
+        ``on_block(tree, block)`` runs after every insertion — the perf
+        benches use it to interleave reads with growth.
+        """
+        tree = tree if tree is not None else BlockTree()
+        for block in self.blocks():
+            tree.add_block(block)
+            if on_block is not None:
+                on_block(tree, block)
+        return tree
+
+
+# -- registries ---------------------------------------------------------------------
 
 
 def default_scenarios() -> Dict[str, ProtocolScenario]:
@@ -56,4 +477,98 @@ def default_scenarios() -> Dict[str, ProtocolScenario]:
         "peercensus": ProtocolScenario(name="peercensus", mean_block_interval=25.0),
         "redbelly": ProtocolScenario(name="redbelly", round_length=30.0, n_nodes=4),
         "hyperledger": ProtocolScenario(name="hyperledger", round_length=15.0),
+    }
+
+
+def adversarial_scenarios(n_nodes: int = 4, duration: float = 240.0) -> Dict[str, AdversarialScenario]:
+    """The adversarial workload matrix (small enough for smoke runs).
+
+    Every entry exercises one fault axis; compose them freely with
+    ``dataclasses.replace`` for mixed adversaries.
+    """
+    half = n_nodes // 2
+    names = tuple(f"p{i}" for i in range(n_nodes))
+    return {
+        "partition-heal": AdversarialScenario(
+            name="partition-heal",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=12.0,
+            partitions=(
+                PartitionWindow(
+                    groups=(names[:half], names[half:]),
+                    start=duration * 0.25,
+                    heal_at=duration * 0.6,
+                ),
+            ),
+            metrics_interval=duration / 24,
+        ),
+        "node-churn": AdversarialScenario(
+            name="node-churn",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=12.0,
+            churn=(
+                ChurnEvent(node=names[-1], leave_at=duration * 0.2, rejoin_at=duration * 0.5),
+                ChurnEvent(node=names[0], leave_at=duration * 0.6, rejoin_at=duration * 0.8),
+            ),
+            metrics_interval=duration / 24,
+        ),
+        "selfish-miner": AdversarialScenario(
+            name="selfish-miner",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=10.0,
+            # p0 gets the dominant share: a selfish miner below ~25%
+            # merit barely forks, which would make this entry toothless.
+            merits=tuple(sorted(skewed_merits(n_nodes, exponent=1.0, seed=7), reverse=True)),
+            selfish_nodes=(names[0],),
+            selfish_extra_delay=18.0,
+            metrics_interval=duration / 24,
+        ),
+        "skewed-merit": AdversarialScenario(
+            name="skewed-merit",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=10.0,
+            merits=skewed_merits(n_nodes, exponent=1.6, seed=11),
+            metrics_interval=duration / 24,
+        ),
+        "burst-traffic": AdversarialScenario(
+            name="burst-traffic",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=16.0,
+            bursts=(
+                TrafficBurst(at=duration * 0.3, duration=duration * 0.2, factor=6.0),
+            ),
+            metrics_interval=duration / 24,
+        ),
+    }
+
+
+def tree_scenarios() -> Dict[str, TreeScenario]:
+    """The tree-workload matrix for the fork-choice engine benches.
+
+    Registry sizes are the 10k tier; use ``at_scale(100_000)`` /
+    ``at_scale(1_000_000)`` for the larger tiers — generation is O(n)
+    and deterministic per seed at any scale.
+    """
+    return {
+        "linear-10k": TreeScenario(name="linear-10k", n_blocks=10_000),
+        "forky-10k": TreeScenario(
+            name="forky-10k", n_blocks=10_000, fork_rate=0.08, fork_window=12
+        ),
+        "selfish-10k": TreeScenario(
+            name="selfish-10k", n_blocks=10_000, selfish_lead=3, selfish_power=0.4
+        ),
+        "bursty-10k": TreeScenario(
+            name="bursty-10k", n_blocks=10_000, burst_every=64, burst_width=6
+        ),
+        "heavytail-10k": TreeScenario(
+            name="heavytail-10k",
+            n_blocks=10_000,
+            fork_rate=0.04,
+            weight_profile="heavytail",
+        ),
     }

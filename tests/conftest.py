@@ -1,21 +1,13 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite (helpers live in ``helpers.py``)."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.blocktree import Chain, GENESIS, make_block
-
-
-def build_chain(*labels) -> Chain:
-    """Chain b0 ⌢ labels[0] ⌢ labels[1] ⌢ … with content-derived ids."""
-    blocks = [GENESIS]
-    for lbl in labels:
-        blocks.append(make_block(blocks[-1], label=str(lbl)))
-    return Chain.of(blocks)
+from helpers import build_chain
 
 
 @pytest.fixture
 def chain_builder():
-    """Fixture exposing :func:`build_chain`."""
+    """Fixture exposing :func:`helpers.build_chain`."""
     return build_chain

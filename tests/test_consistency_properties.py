@@ -1,6 +1,6 @@
 """Tests for the individual consistency properties (Defs. 3.2/3.3/3.9)."""
 
-from conftest import build_chain
+from helpers import build_chain
 
 from repro.blocktree import GENESIS, LengthScore, make_block
 from repro.consistency import (

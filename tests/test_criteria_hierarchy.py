@@ -2,7 +2,7 @@
 
 import math
 
-from conftest import build_chain
+from helpers import build_chain
 
 from repro.blocktree import LengthScore
 from repro.consistency import (

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from conftest import build_chain
+from helpers import build_chain
 
 from repro.blocktree import GENESIS, LengthScore, make_block
 from repro.consistency import BTStrongConsistency

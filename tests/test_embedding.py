@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_chain
+from helpers import build_chain
 
 from repro.blocktree import Chain, GENESIS, LongestChain, make_block
 from repro.consistency import random_refinement_history

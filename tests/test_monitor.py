@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import build_chain
+from helpers import build_chain
 
 from repro.blocktree import GENESIS, LengthScore, make_block
 from repro.consistency import random_refinement_history
