@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-perf bench-all
+.PHONY: test bench-smoke bench-perf bench-consistency bench-all
 
 ## Tier-1: the full unit/property/differential suite (fast, no benches).
 test:
@@ -16,6 +16,12 @@ bench-smoke:
 bench-perf:
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_core.py -q \
 		--benchmark-enable --benchmark-json=BENCH_perf_core.json
+
+## Ancestry-index gates (batch checkers 10k/100k old-vs-new, 50k-deep
+## prefix algebra, per-block memory), emitting BENCH_consistency.json.
+bench-consistency:
+	$(PYTHON) -m pytest benchmarks/test_bench_consistency.py -q \
+		--benchmark-disable
 
 ## Every paper-figure bench, measured, one JSON per run.
 bench-all:

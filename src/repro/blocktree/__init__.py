@@ -48,6 +48,10 @@ from repro.blocktree.reference import (
     rescan_ghost,
     rescan_heaviest,
     rescan_longest,
+    tuple_common_prefix,
+    tuple_comparable,
+    tuple_is_prefix_of,
+    tuple_mcps,
 )
 
 __all__ = [
@@ -77,4 +81,8 @@ __all__ = [
     "rescan_longest",
     "rescan_heaviest",
     "rescan_ghost",
+    "tuple_is_prefix_of",
+    "tuple_comparable",
+    "tuple_common_prefix",
+    "tuple_mcps",
 ]

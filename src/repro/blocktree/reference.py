@@ -1,15 +1,23 @@
-"""Full-rescan reference implementations of the selection functions.
+"""Full-rescan / tuple-walking reference implementations.
 
-These are the pre-incremental-engine algorithms, kept verbatim as the
-*oracle* for differential testing and as the baseline the perf benches
-compare against: every rule rescans the whole tree on each call and the
-chain is rebuilt by walking parent pointers to the root and re-validated
-by the checking ``Chain`` constructor.
+These are the pre-optimization algorithms, kept verbatim as the *oracle*
+for differential testing and as the baseline the perf benches compare
+against:
 
-The incremental indices in :class:`~repro.blocktree.tree.BlockTree` must
-agree with these byte-for-byte on every tree — including lexicographic
+* the **selection rules** rescan the whole tree on each call and rebuild
+  the chain by walking parent pointers to the root, re-validated by the
+  checking ``Chain`` constructor (pre-incremental-fork-choice, PR 1);
+* the **tuple prefix algebra** (``tuple_is_prefix_of`` /
+  ``tuple_comparable`` / ``tuple_common_prefix`` / ``tuple_mcps``)
+  decides ``⊑`` and maximal common prefixes by block-by-block zip
+  comparison over materialized tuples (pre-ancestry-index, PR 2).
+
+The incremental indices in :class:`~repro.blocktree.tree.BlockTree` and
+the O(log n) algebra on :class:`~repro.blocktree.chain.Chain` must agree
+with these byte-for-byte on every tree — including lexicographic
 tie-breaks and insertion-order ties — which
-``tests/test_selection_differential.py`` asserts on randomized trees.
+``tests/test_selection_differential.py`` and
+``tests/test_ancestry_index.py`` assert on randomized trees.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from typing import Callable, List
 
 from repro.blocktree.block import Block
 from repro.blocktree.chain import Chain
+from repro.blocktree.score import ScoreFunction
 from repro.blocktree.selection import lexicographic_max
 from repro.blocktree.tree import BlockTree
 
@@ -27,9 +36,42 @@ __all__ = [
     "rescan_heaviest",
     "rescan_ghost",
     "RESCAN_RULES",
+    "tuple_is_prefix_of",
+    "tuple_comparable",
+    "tuple_common_prefix",
+    "tuple_mcps",
 ]
 
 Tiebreak = Callable[[List[Block]], Block]
+
+
+def tuple_is_prefix_of(chain: Chain, other: Chain) -> bool:
+    """The original ``⊑``: block-by-block id comparison over tuples."""
+    if len(chain) > len(other):
+        return False
+    return all(
+        a.block_id == b.block_id for a, b in zip(chain.blocks, other.blocks)
+    )
+
+
+def tuple_comparable(chain: Chain, other: Chain) -> bool:
+    """The original comparability test: two directed tuple walks."""
+    return tuple_is_prefix_of(chain, other) or tuple_is_prefix_of(other, chain)
+
+
+def tuple_common_prefix(chain: Chain, other: Chain) -> Chain:
+    """The original maximal-common-prefix walk from genesis upward."""
+    keep = 0
+    for a, b in zip(chain.blocks, other.blocks):
+        if a.block_id != b.block_id:
+            break
+        keep += 1
+    return Chain(chain.blocks[:keep])
+
+
+def tuple_mcps(chain: Chain, other: Chain, score: ScoreFunction) -> float:
+    """``mcps`` evaluated through the tuple-walking common prefix."""
+    return score(tuple_common_prefix(chain, other))
 
 
 def rescan_chain_to(tree: BlockTree, block_id: str) -> Chain:

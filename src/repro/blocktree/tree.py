@@ -36,11 +36,34 @@ on a growing tree cost near O(Δ) instead of a full rescan:
   only re-walked when some best-child pointer actually changed; the
   common "new block extends the current winner" case updates it in O(1).
 
-* **Chain cache.**  ``chain_to`` keeps a small LRU of recently returned
-  chains.  A path to the root never changes once a block is inserted, so
-  cached chains are valid forever; a new read walks only the Δ suffix to
-  the nearest cached ancestor and splices it onto the cached prefix via
-  a trusted (validation-free) ``Chain`` constructor.
+* **Chain views.**  ``chain_to`` returns an O(1) tree-backed
+  :class:`~repro.blocktree.chain.Chain` *view* (tree handle + tip id +
+  height) instead of copying O(depth) block tuples.  Paths to the root
+  never change once a block is inserted, so a view denotes the same
+  chain forever.  When a consumer does iterate the blocks, the view
+  materializes through :meth:`BlockTree.path_blocks`, which keeps a
+  small LRU of materialized paths and walks only the Δ suffix to the
+  nearest cached ancestor.
+
+Ancestry index (binary lifting)
+-------------------------------
+
+The consistency criteria are defined entirely in terms of the prefix
+relation ``⊑`` and maximal common prefixes, so ancestry queries dominate
+batch checking and online monitoring.  Every inserted block therefore
+records *jump pointers*: ``_anc[b][k]`` is the ``2^k``-th ancestor of
+``b``, built in O(log n) per append from the parent's row.  On top of
+the jump table:
+
+* :meth:`ancestor_at_depth` — the ancestor of a block at a given depth,
+  O(log n);
+* :meth:`lca` — the lowest common ancestor of two blocks (the tip of the
+  paper's maximal common prefix), O(log n);
+* :meth:`is_ancestor` — ``a`` on the root path of ``b``, O(log n), which
+  is exactly the prefix relation ``chain(a) ⊑ chain(b)``.
+
+The pre-index tuple-walking algebra is retained verbatim in
+:mod:`repro.blocktree.reference` as the differential-test oracle.
 
 The indices reproduce the selection semantics of the full-rescan
 implementations *byte-for-byte* (see :mod:`repro.blocktree.reference`
@@ -54,6 +77,7 @@ for sequential-specification checking of the BT-ADT.
 from __future__ import annotations
 
 import heapq
+import sys
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
@@ -98,8 +122,11 @@ class BlockTree:
         if not genesis.is_genesis:
             raise ValueError("BlockTree root must be a genesis block")
         self.genesis = genesis
-        gid = genesis.block_id
+        gid = sys.intern(genesis.block_id)
         self._blocks: Dict[str, Block] = {gid: genesis}
+        #: Binary-lifting jump table: ``_anc[b][k]`` = 2^k-th ancestor of b.
+        #: Rows are immutable tuples, shared structurally by ``copy()``.
+        self._anc: Dict[str, Tuple[str, ...]] = {gid: ()}
         self._children: Dict[str, List[str]] = {gid: []}
         self._height: Dict[str, int] = {gid: 0}
         self._chain_weight: Dict[str, float] = {gid: 0.0}
@@ -118,7 +145,8 @@ class BlockTree:
         self._weight_backlog: List[Block] = []
         self._ghost_leaf: str = gid
         self._ghost_dirty: bool = False
-        self._chain_cache: "OrderedDict[str, Chain]" = OrderedDict()
+        #: LRU of *materialized* root paths (block tuples) by tip id.
+        self._chain_cache: "OrderedDict[str, Tuple[Block, ...]]" = OrderedDict()
 
     # -- queries ----------------------------------------------------------
 
@@ -165,6 +193,64 @@ class BlockTree:
     def max_fork_degree(self) -> int:
         """The maximum fork degree over all blocks (k-fork coherence witness)."""
         return max((len(v) for v in self._children.values()), default=0)
+
+    # -- ancestry index (binary lifting) -----------------------------------
+
+    def ancestor_at_depth(self, block_id: str, depth: int) -> str:
+        """The id of ``block_id``'s ancestor at ``depth`` — O(log n).
+
+        ``depth`` counts from the root (genesis is depth 0); a block is
+        its own ancestor at its own height.  Raises ``KeyError`` for
+        unknown blocks and ``ValueError`` for depths below the root or
+        beyond the block.
+        """
+        delta = self._height[block_id] - depth
+        if delta < 0 or depth < 0:
+            raise ValueError(
+                f"block at height {self._height[block_id]} has no ancestor "
+                f"at depth {depth}"
+            )
+        anc = self._anc
+        cursor = block_id
+        level = 0
+        while delta:
+            if delta & 1:
+                cursor = anc[cursor][level]
+            delta >>= 1
+            level += 1
+        return cursor
+
+    def lca(self, a: str, b: str) -> str:
+        """The lowest common ancestor of blocks ``a`` and ``b`` — O(log n).
+
+        This is the tip of the paper's maximal common prefix
+        ``mcp(chain(a), chain(b))``.
+        """
+        height = self._height
+        if height[a] > height[b]:
+            a, b = b, a
+        b = self.ancestor_at_depth(b, height[a])
+        if a == b:
+            return a
+        anc = self._anc
+        # Equal heights ⇒ equal row lengths; descend from the top level.
+        for level in range(len(anc[a]) - 1, -1, -1):
+            row_a, row_b = anc[a], anc[b]
+            if level < len(row_a) and row_a[level] != row_b[level]:
+                a, b = row_a[level], row_b[level]
+        return anc[a][0]
+
+    def is_ancestor(self, ancestor_id: str, block_id: str) -> bool:
+        """Whether ``ancestor_id`` lies on ``block_id``'s root path — O(log n).
+
+        Reflexive, and exactly the prefix relation on the corresponding
+        chains: ``chain(a) ⊑ chain(b)  ⟺  is_ancestor(a, b)``.
+        """
+        depth = self._height[ancestor_id]
+        return (
+            depth <= self._height[block_id]
+            and self.ancestor_at_depth(block_id, depth) == ancestor_id
+        )
 
     # -- incremental fork-choice indices ----------------------------------
 
@@ -299,7 +385,13 @@ class BlockTree:
             raise ValueError("cannot insert a second genesis block")
         if block.parent_id not in self._blocks:
             raise KeyError(f"parent {block.parent_id!r} not in tree")
-        parent_id = block.parent_id
+        # Intern the id strings (in the block itself, so every replica's
+        # index maps share one object per id — a large memory win on
+        # million-block, multi-node scenarios; value semantics unchanged).
+        bid = sys.intern(bid)
+        parent_id = sys.intern(block.parent_id)
+        object.__setattr__(block, "block_id", bid)
+        object.__setattr__(block, "parent_id", parent_id)
         self._blocks[bid] = block
         self._children[bid] = []
         self._sibling_index[bid] = len(self._children[parent_id])
@@ -310,6 +402,19 @@ class BlockTree:
         self._chain_weight[bid] = chain_weight
         self._subtree_weight[bid] = block.weight
         self._best_child[bid] = None
+        # Binary-lifting row: row[k] = 2^k-th ancestor, derived from the
+        # parent's row in O(log n).
+        anc = self._anc
+        row = [parent_id]
+        level = 0
+        while True:
+            above = anc[row[level]]
+            if level < len(above):
+                row.append(above[level])
+                level += 1
+            else:
+                break
+        anc[bid] = tuple(row)
         key = _tie_key(block)
         self._tie_keys[bid] = key
         heapq.heappush(self._height_heap, (-height, _RevKey(key), bid))
@@ -330,10 +435,19 @@ class BlockTree:
     # -- chain extraction ---------------------------------------------------
 
     def chain_to(self, block_id: str) -> Chain:
-        """The blockchain from genesis to ``block_id``.
+        """The blockchain from genesis to ``block_id`` — O(1).
+
+        Returns a tree-backed :class:`Chain` view; the block tuple is
+        materialized lazily through :meth:`path_blocks` only if a
+        consumer iterates it.  Raises ``KeyError`` for unknown blocks.
+        """
+        return Chain.view(self, block_id)
+
+    def path_blocks(self, block_id: str) -> Tuple[Block, ...]:
+        """The materialized genesis→``block_id`` block tuple.
 
         Reuses cached path segments: only the suffix below the nearest
-        previously returned chain is walked (paths to the root never
+        previously materialized path is walked (paths to the root never
         change, so cache entries stay valid forever).
         """
         cache = self._chain_cache
@@ -344,7 +458,7 @@ class BlockTree:
         blocks = self._blocks
         suffix: List[Block] = []
         cursor: Optional[str] = block_id
-        base: Optional[Chain] = None
+        base: Optional[Tuple[Block, ...]] = None
         while cursor is not None:
             cached = cache.get(cursor)
             if cached is not None:
@@ -355,14 +469,13 @@ class BlockTree:
             cursor = block.parent_id
         suffix.reverse()
         if base is not None:
-            path = base.blocks + tuple(suffix)
+            path = base + tuple(suffix)
         else:
             path = tuple(suffix)
-        chain = Chain._unchecked(path)
-        cache[block_id] = chain
+        cache[block_id] = path
         if len(cache) > self._CHAIN_CACHE_LIMIT:
             cache.popitem(last=False)
-        return chain
+        return path
 
     # -- persistence ---------------------------------------------------------
 
@@ -372,6 +485,7 @@ class BlockTree:
         clone = BlockTree(self.genesis)
         clone._blocks = dict(self._blocks)
         clone._children = {k: list(v) for k, v in self._children.items()}
+        clone._anc = dict(self._anc)  # rows are immutable tuples: shared
         clone._height = dict(self._height)
         clone._chain_weight = dict(self._chain_weight)
         clone._subtree_weight = dict(self._subtree_weight)
@@ -384,7 +498,10 @@ class BlockTree:
         clone._weight_backlog = []
         clone._ghost_leaf = self._ghost_leaf
         clone._ghost_dirty = self._ghost_dirty
-        clone._chain_cache = OrderedDict(self._chain_cache)
+        # Share-nothing clones start with an empty materialization cache:
+        # copying the LRU made clone cost scale with cached chain depth
+        # (the entries are pure caches — the clone rebuilds them on use).
+        clone._chain_cache = OrderedDict()
         return clone
 
     def freeze(self) -> Tuple[Tuple[str, str], ...]:

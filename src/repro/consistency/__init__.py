@@ -38,6 +38,11 @@ from repro.consistency.hierarchy import (
 )
 from repro.consistency.embedding import LinearizationResult, linearize_bt_history
 from repro.consistency.monitor import ConsistencyMonitor, Violation
+from repro.consistency.reference import (
+    pairwise_check_block_validity,
+    pairwise_check_eventual_prefix,
+    pairwise_check_strong_prefix,
+)
 
 __all__ = [
     "PropertyCheck",
@@ -58,4 +63,7 @@ __all__ = [
     "linearize_bt_history",
     "ConsistencyMonitor",
     "Violation",
+    "pairwise_check_block_validity",
+    "pairwise_check_strong_prefix",
+    "pairwise_check_eventual_prefix",
 ]

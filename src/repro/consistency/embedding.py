@@ -125,7 +125,11 @@ def linearize_bt_history(
         if op.name == "read":
             expected = history.returned_chain(op)
             actual = selection.select(tree)
-            if expected.block_ids() != actual.block_ids():
+            # Height + tip-id agreement implies id agreement everywhere
+            # (collision-free content-addressed ids; the registry already
+            # dedups blocks by id) — O(1) instead of materializing and
+            # comparing both id tuples at every DFS node.
+            if not expected.same_ids(actual):
                 return None
             return tree
         # append: recorded parent must be the selected tip right now.

@@ -6,14 +6,18 @@ happen*.  :class:`ConsistencyMonitor` consumes read/append operations one
 at a time and maintains just enough state to decide the three safety
 clauses incrementally:
 
-* **Block Validity** — a set of appended block ids; a read returning an
-  unknown block violates immediately.
+* **Block Validity** — a set of appended block ids, plus a *validated
+  frontier*: blocks whose whole root path has already been checked.  A
+  read walks its chain tipward only until it hits the frontier, so the
+  cost is O(Δ) in the newly observed suffix, not O(|C|) per read.
 * **Local Monotonic Read** — the last read score per process.
 * **Strong Prefix** — a set of pairwise-comparable chains is totally
   ordered by ``⊑``, so it suffices to keep the current maximum ``M``:
   a new chain ``C`` keeps the invariant iff ``C ⊑ M`` (two prefixes of
   ``M`` are always mutually comparable) or ``M ⊑ C`` (then ``C`` becomes
-  the new maximum).  O(|C|) per read instead of O(reads²).
+  the new maximum).  With tree-backed chain views, each ``⊑`` test is an
+  O(log |C|) ancestor query on the ancestry index instead of an O(|C|)
+  tuple walk — the per-read Strong Prefix cost is now logarithmic.
 * **k-Fork Coherence** — distinct successful children per holder.
 
 The monitor is *sound and complete* w.r.t. the batch safety checkers on
@@ -70,6 +74,7 @@ class ConsistencyMonitor:
         self.violations: List[Violation] = []
         self._sequence = 0
         self._appended: Set[str] = set()
+        self._validated: Set[str] = set()
         self._children: Dict[str, Set[str]] = {}
         self._last_score: Dict[str, float] = {}
         self._max_chain: Optional[Chain] = None
@@ -94,7 +99,15 @@ class ConsistencyMonitor:
     def on_read(self, proc: str, chain: Chain) -> None:
         """Feed one completed read operation returning ``chain``."""
         self._sequence += 1
-        for block in chain.non_genesis():
+        # Walk tipward only to the validated frontier: blocks below a
+        # validated block were validated with it (their path is a prefix
+        # of its path), and ``_appended`` only ever grows.
+        suffix = []
+        for block in chain.iter_tipward():
+            if block.parent_id is None or block.block_id in self._validated:
+                break
+            suffix.append(block)
+        for block in reversed(suffix):  # genesis→tip: same witness order
             if block.block_id not in self._appended:
                 self._flag(
                     "block-validity",
@@ -102,6 +115,7 @@ class ConsistencyMonitor:
                     f"read returned {block.short()} with no prior append",
                 )
                 break
+            self._validated.add(block.block_id)
         s = self.score(chain)
         previous = self._last_score.get(proc)
         if previous is not None and s < previous:

@@ -34,6 +34,8 @@ class ConcurrentHistory:
     def __post_init__(self) -> None:
         self.events = sorted(self.events, key=lambda e: e.eid)
         self._ops: Optional[List[OpRecord]] = None
+        self._reads: Optional[List[OpRecord]] = None
+        self._reads_by_proc: Optional[Dict[str, List[OpRecord]]] = None
 
     # -- event-level orders ----------------------------------------------------
 
@@ -98,9 +100,22 @@ class ConcurrentHistory:
     def _named(self, name: str) -> List[OpRecord]:
         return [op for op in self.operations() if op.name == name]
 
+    def _completed_reads(self) -> List[OpRecord]:
+        """The cached completed-read list (do not mutate)."""
+        if self._reads is None:
+            self._reads = [op for op in self._named("read") if op.complete]
+        return self._reads
+
     def reads(self) -> List[OpRecord]:
-        """Completed ``read()`` operations, in invocation order."""
-        return [op for op in self._named("read") if op.complete]
+        """Completed ``read()`` operations, in invocation order.
+
+        Filtered once and cached — the batch checkers call this
+        repeatedly on 10⁵⁺-read scenario histories (events are treated
+        as immutable after construction, like the ``operations()``
+        cache).  Returns a fresh list, so callers may mutate it freely,
+        exactly as with the old per-call comprehension.
+        """
+        return list(self._completed_reads())
 
     def appends(self) -> List[OpRecord]:
         """All ``append`` operations (complete or pending)."""
@@ -127,8 +142,18 @@ class ConcurrentHistory:
         return sorted({e.proc for e in self.events})
 
     def reads_of(self, proc: str) -> List[OpRecord]:
-        """Completed reads of one process, in process order."""
-        return [op for op in self.reads() if op.proc == proc]
+        """Completed reads of one process, in process order.
+
+        Grouped once and cached — iterating ``reads_of`` over every
+        process used to rescan the full read list per process, a hidden
+        quadratic in the batch checkers.
+        """
+        if self._reads_by_proc is None:
+            by_proc: Dict[str, List[OpRecord]] = {}
+            for op in self._completed_reads():
+                by_proc.setdefault(op.proc, []).append(op)
+            self._reads_by_proc = by_proc
+        return list(self._reads_by_proc.get(proc, ()))
 
     @staticmethod
     def returned_chain(read_op: OpRecord) -> Chain:

@@ -63,7 +63,14 @@ class BlockchainNode(SimProcess):
     # -- reads ------------------------------------------------------------------
 
     def read(self) -> Chain:
-        """A recorded BT-ADT ``read()`` on the local replica."""
+        """A recorded BT-ADT ``read()`` on the local replica.
+
+        The returned chain is an O(1) tree-backed view (tip id + height)
+        — recording a read no longer copies O(depth) block tuples, and
+        the view stays valid as the replica tree grows (root paths are
+        immutable).  Consistency checkers judge it via O(log n) ancestry
+        queries without ever materializing the blocks.
+        """
         rec = self.network.recorder
         op_id = rec.begin(self.name, "read", (), time=self.now)
         chain = self.selection.select(self.tree)

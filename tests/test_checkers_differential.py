@@ -1,0 +1,208 @@
+"""Differential tests: near-linear checkers vs the pairwise reference.
+
+The rewritten batch checkers in :mod:`repro.consistency.properties` must
+return :class:`PropertyCheck` verdicts *identical* to the retained
+pairwise implementations in :mod:`repro.consistency.reference` —
+including the violation witnesses — on random refinement histories
+(forky and fork-free), on crafted violating histories, and through the
+criterion-level ``pairwise_reference`` switch.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import build_chain
+
+from repro.blocktree import GENESIS, LengthScore, WorkScore, make_block
+from repro.consistency import (
+    BTEventualConsistency,
+    BTStrongConsistency,
+    check_block_validity,
+    check_eventual_prefix,
+    check_strong_prefix,
+    pairwise_check_block_validity,
+    pairwise_check_eventual_prefix,
+    pairwise_check_strong_prefix,
+    random_refinement_history,
+)
+from repro.histories import Continuation, ContinuationModel, GrowthMode, HistoryRecorder
+
+SCORE = LengthScore()
+
+
+def _continuations(history):
+    """Continuation variants worth exercising on one history."""
+    procs = sorted({e.proc for e in history.events})
+    return [
+        None,
+        history.continuation,
+        ContinuationModel.all_growing(procs),
+        ContinuationModel.diverging(procs),
+        ContinuationModel(
+            {p: Continuation(True, GrowthMode.FROZEN, "none") for p in procs}
+        ),
+        ContinuationModel(
+            {
+                p: Continuation(
+                    True,
+                    GrowthMode.FROZEN if i % 2 else GrowthMode.GROWING,
+                    "main",
+                )
+                for i, p in enumerate(procs)
+            }
+        ),
+    ]
+
+
+class TestRandomRefinementHistories:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5_000), k=st.sampled_from([1, 2, 3, math.inf]))
+    def test_strong_prefix_identical(self, seed, k):
+        history = random_refinement_history(k=k, seed=seed, n_ops=40).history
+        for model in _continuations(history):
+            assert check_strong_prefix(history, model) == pairwise_check_strong_prefix(
+                history, model
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5_000), k=st.sampled_from([1, 2, 3, math.inf]))
+    def test_eventual_prefix_identical(self, seed, k):
+        history = random_refinement_history(k=k, seed=seed, n_ops=40).history
+        for score in (SCORE, WorkScore()):
+            for model in _continuations(history):
+                assert check_eventual_prefix(
+                    history, score, model
+                ) == pairwise_check_eventual_prefix(history, score, model)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5_000), k=st.sampled_from([1, 2, math.inf]))
+    def test_block_validity_identical(self, seed, k):
+        run = random_refinement_history(k=k, seed=seed, n_ops=40)
+        history = run.history
+        all_ids = {
+            b.block_id for r in history.reads()
+            for b in history.returned_chain(r).non_genesis()
+        }
+        some_ids = set(sorted(all_ids)[: len(all_ids) // 2])  # forces violations
+        for valid in (None, all_ids, some_ids, set()):
+            assert check_block_validity(history, valid) == pairwise_check_block_validity(
+                history, valid
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2_000), k=st.sampled_from([1, 2]))
+    def test_criteria_reports_identical(self, seed, k):
+        history = random_refinement_history(k=k, seed=seed, n_ops=30).history
+        for criterion_cls in (BTStrongConsistency, BTEventualConsistency):
+            fast = criterion_cls(score=SCORE).check(history)
+            slow = criterion_cls(score=SCORE, pairwise_reference=True).check(history)
+            assert fast.checks == slow.checks
+            assert fast.ok == slow.ok
+
+
+def _record(reads, appends=()):
+    rec = HistoryRecorder()
+    for proc, block in appends:
+        op = rec.begin(proc, "append", (block.block_id, block.parent_id))
+        rec.end(proc, op, "append", True)
+    for proc, chain in reads:
+        rec.record_read(proc, chain)
+    return rec.history()
+
+
+class TestCraftedViolations:
+    """Hand-built histories hitting every delegation path, witnesses included."""
+
+    def test_diverging_reads_witness_identical(self):
+        a, b = build_chain("1", "2"), build_chain("1", "9")
+        appends = [("p", blk) for c in (a, b) for blk in c.non_genesis()]
+        history = _record([("p0", a), ("p1", b), ("p2", a)], appends)
+        fast = check_strong_prefix(history)
+        slow = pairwise_check_strong_prefix(history)
+        assert not fast.ok and fast == slow and "diverging chains" in fast.witness
+
+    def test_limit_divergence_witness_identical(self):
+        a, b = build_chain("1"), build_chain("2")
+        appends = [("p", blk) for c in (a, b) for blk in c.non_genesis()]
+        history = _record([("p0", a), ("p1", b)], appends)
+        model = ContinuationModel.diverging(["p0", "p1"])
+        fast = check_strong_prefix(history, model)
+        slow = pairwise_check_strong_prefix(history, model)
+        assert not fast.ok and fast == slow
+
+    def test_read_off_growing_branch_witness_identical(self):
+        trunk = build_chain("1", "2")
+        stray = build_chain("9")
+        appends = [("p", blk) for c in (trunk, stray) for blk in c.non_genesis()]
+        # p1's stray read diverges from p0's growing branch.
+        history = _record([("p0", trunk), ("p1", trunk), ("p1", stray)], appends)
+        model = ContinuationModel(
+            {
+                "p0": Continuation(True, GrowthMode.GROWING, "main"),
+                "p1": Continuation(True, GrowthMode.GROWING, "main"),
+            }
+        )
+        fast = check_strong_prefix(history, model)
+        slow = pairwise_check_strong_prefix(history, model)
+        assert not fast.ok and fast == slow
+
+    def test_frozen_divergence_witness_identical(self):
+        a, b = build_chain("1", "2", "3"), build_chain("1", "9")
+        appends = [("p", blk) for c in (a, b) for blk in c.non_genesis()]
+        history = _record([("p0", a), ("p1", b)], appends)
+        model = ContinuationModel(
+            {p: Continuation(True, GrowthMode.FROZEN, "none") for p in ("p0", "p1")}
+        )
+        fast = check_eventual_prefix(history, SCORE, model)
+        slow = pairwise_check_eventual_prefix(history, SCORE, model)
+        assert not fast.ok and fast == slow and "agree only up to score" in fast.witness
+
+    def test_frozen_convergence_passes_identically(self):
+        a = build_chain("1", "2")
+        appends = [("p", blk) for blk in a.non_genesis()]
+        history = _record([("p0", a), ("p1", a)], appends)
+        model = ContinuationModel(
+            {p: Continuation(True, GrowthMode.FROZEN, "none") for p in ("p0", "p1")}
+        )
+        fast = check_eventual_prefix(history, SCORE, model)
+        slow = pairwise_check_eventual_prefix(history, SCORE, model)
+        assert fast.ok and fast == slow
+
+    def test_unappended_block_witness_identical(self):
+        chain = build_chain("1", "2")
+        # Only block "1" is ever appended; "2" appears out of thin air.
+        appends = [("p", chain.non_genesis()[0])]
+        history = _record([("p0", chain)], appends)
+        fast = check_block_validity(history)
+        slow = pairwise_check_block_validity(history)
+        assert not fast.ok and fast == slow and "no prior append" in fast.witness
+
+    def test_invalid_block_witness_identical(self):
+        chain = build_chain("1", "2")
+        appends = [("p", blk) for blk in chain.non_genesis()]
+        history = _record([("p0", chain)], appends)
+        valid = {chain.non_genesis()[0].block_id}  # "2" ∉ B′
+        fast = check_block_validity(history, valid)
+        slow = pairwise_check_block_validity(history, valid)
+        assert not fast.ok and fast == slow and "∉ B′" in fast.witness
+
+    def test_append_after_read_witness_identical(self):
+        chain = build_chain("1")
+        rec = HistoryRecorder()
+        rec.record_read("p0", chain)  # read responds before any append
+        op = rec.begin("p", "append", (chain.tip.block_id, GENESIS.block_id))
+        rec.end("p", op, "append", True)
+        history = rec.history()
+        fast = check_block_validity(history)
+        slow = pairwise_check_block_validity(history)
+        assert not fast.ok and fast == slow
+
+    def test_strict_order_routes_to_reference(self):
+        chain = build_chain("1")
+        appends = [("p", chain.non_genesis()[0])]
+        history = _record([("p0", chain)], appends)
+        assert check_block_validity(history, None, True) == pairwise_check_block_validity(
+            history, None, True
+        )
