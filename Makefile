@@ -1,15 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-perf bench-consistency bench-all
+.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-all docs-test
 
 ## Tier-1: the full unit/property/differential suite (fast, no benches).
 test:
 	$(PYTHON) -m pytest -x -q
 
-## One un-measured pass over every bench (what CI runs).
+## One un-measured pass over every bench (what CI runs).  The storage
+## bounded-hot-set gate runs at a reduced scale here; the full 1M run is
+## `make bench-storage`.
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
+	BENCH_STORAGE_SCALE=50000 $(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
 
 ## Measured perf-core benches (incremental fork-choice gates included),
 ## emitting BENCH_perf_core.json for regression tracking.
@@ -22,6 +24,18 @@ bench-perf:
 bench-consistency:
 	$(PYTHON) -m pytest benchmarks/test_bench_consistency.py -q \
 		--benchmark-disable
+
+## Storage gates (append throughput, cold reads, crash-recovery replay,
+## 1M-block bounded hot set vs byte-identical reads), emitting
+## BENCH_storage.json.  Override the scale with BENCH_STORAGE_SCALE.
+bench-storage:
+	$(PYTHON) -m pytest benchmarks/test_bench_storage.py -q \
+		--benchmark-disable
+
+## Doctest every code example embedded in docs/*.md (fails on broken
+## imports or drifted examples).
+docs-test:
+	$(PYTHON) -m doctest $(wildcard docs/*.md)
 
 ## Every paper-figure bench, measured, one JSON per run.
 bench-all:

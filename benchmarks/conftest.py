@@ -12,6 +12,26 @@ from __future__ import annotations
 
 import pytest
 
+_STORE_CHOICES = ("memory", "log", "sqlite")
+
+
+def pytest_addoption(parser):
+    """The ``--store`` knob: restrict storage benches to one backend."""
+    parser.addoption(
+        "--store",
+        default="all",
+        choices=_STORE_CHOICES + ("all",),
+        help="block-store backend(s) the storage benches exercise",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize any bench asking for ``store_kind`` over the knob."""
+    if "store_kind" in metafunc.fixturenames:
+        chosen = metafunc.config.getoption("--store")
+        kinds = _STORE_CHOICES if chosen == "all" else (chosen,)
+        metafunc.parametrize("store_kind", kinds)
+
 
 @pytest.fixture
 def report():

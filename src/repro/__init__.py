@@ -8,6 +8,8 @@ artifacts:
 
 * :mod:`repro.adt` — ADTs as transducers, sequential specifications.
 * :mod:`repro.blocktree` — the BlockTree and the BT-ADT (Definition 3.1).
+* :mod:`repro.storage` — pluggable block-store backends (memory, binary
+  log, sqlite) behind the checkpoint/prune lifecycle.
 * :mod:`repro.oracle` — token oracles Θ_F/Θ_P and R(BT-ADT, Θ).
 * :mod:`repro.histories` — concurrent histories (Definition 2.4).
 * :mod:`repro.consistency` — SC/EC criteria checkers and the hierarchy.
@@ -36,12 +38,14 @@ from repro.blocktree import (
     HeaviestChain,
     LengthScore,
     LongestChain,
+    PrunePolicy,
     WorkScore,
     make_block,
 )
 from repro.consistency import BTEventualConsistency, BTStrongConsistency
 from repro.histories import ConcurrentHistory, ContinuationModel, HistoryRecorder
 from repro.oracle import FrugalOracle, ProdigalOracle, RefinedBTADT, TapeSet
+from repro.storage import BlockStore, open_store
 
 __all__ = [
     "__version__",
@@ -50,6 +54,9 @@ __all__ = [
     "make_block",
     "Chain",
     "BlockTree",
+    "PrunePolicy",
+    "BlockStore",
+    "open_store",
     "BTADT",
     "LongestChain",
     "HeaviestChain",

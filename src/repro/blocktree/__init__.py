@@ -16,6 +16,17 @@ Modules:
 * :mod:`repro.blocktree.score` — monotonic score functions and ``mcps``.
 * :mod:`repro.blocktree.selection` — selection functions ``f ∈ F``.
 * :mod:`repro.blocktree.bt_adt` — the BT-ADT transducer of Definition 3.1.
+* :mod:`repro.blocktree.reference` — the retained full-rescan/tuple-walk
+  oracles for differential testing.
+
+Complexity guarantees (details per module; README § Performance for the
+measured gates): ``add_block`` O(log n) including ancestry upkeep and
+write-through to the block store; ``read()``/``chain_to`` O(1) views;
+``⊑``/``comparable``/``common_prefix`` O(log n) on the binary-lifting
+index; longest/heaviest selection O(1) amortized, GHOST O(Δ) amortized.
+With a :class:`PrunePolicy` the resident Block hot set is bounded by
+``hot_cap`` while evicted blocks fault back from the configured
+:mod:`repro.storage` backend.
 """
 
 from repro.blocktree.block import (
@@ -28,7 +39,7 @@ from repro.blocktree.block import (
     make_block,
 )
 from repro.blocktree.chain import Chain
-from repro.blocktree.tree import BlockTree
+from repro.blocktree.tree import BlockTree, PrunePolicy
 from repro.blocktree.score import (
     LengthScore,
     ScoreFunction,
@@ -64,6 +75,7 @@ __all__ = [
     "PredicateValid",
     "Chain",
     "BlockTree",
+    "PrunePolicy",
     "ScoreFunction",
     "LengthScore",
     "WorkScore",

@@ -113,6 +113,7 @@ class ValidityPredicate:
     """
 
     def __call__(self, block: Block) -> bool:
+        """Raw predicate ``P(block)`` (no genesis convention applied)."""
         raise NotImplementedError
 
     def is_valid(self, block: Block) -> bool:
@@ -124,6 +125,7 @@ class AlwaysValid(ValidityPredicate):
     """``P ≡ ⊤``: every block is valid (the paper's default abstraction)."""
 
     def __call__(self, block: Block) -> bool:
+        """Every block is in ``B′``."""
         return True
 
 
@@ -138,6 +140,7 @@ class TableValid(ValidityPredicate):
     valid_ids: set = field(default_factory=set)
 
     def __call__(self, block: Block) -> bool:
+        """Membership of the block's id in the admitted set."""
         return block.block_id in self.valid_ids
 
     def admit(self, block: Block) -> None:
@@ -153,4 +156,5 @@ class PredicateValid(ValidityPredicate):
     name: str = "custom"
 
     def __call__(self, block: Block) -> bool:
+        """Delegate to the wrapped callable."""
         return self.fn(block)

@@ -76,12 +76,20 @@ class BTADT(ADT[BTState]):
         self._validity = validity
 
     def initial_state(self) -> BTState:
+        """``ξ0 = (bt0, f, P)``: a genesis-only tree with the parameters."""
         return BTState(tree=BlockTree(), selection=self._selection, validity=self._validity)
 
     def accepts_symbol(self, symbol: Any) -> bool:
+        """Whether ``symbol`` is in the input alphabet ``A``."""
         return isinstance(symbol, (Append, Read))
 
     def transition(self, state: BTState, symbol: Any) -> BTState:
+        """The transition function ``τ`` (module docstring equations).
+
+        Reads leave the state untouched; a valid append attaches the
+        block descriptor at the tip of the currently selected chain on
+        an independent tree copy (states are values, not aliases).
+        """
         if isinstance(symbol, Read):
             return state
         if isinstance(symbol, Append):
@@ -96,6 +104,7 @@ class BTADT(ADT[BTState]):
         raise ValueError(f"unknown symbol {symbol!r}")
 
     def output(self, state: BTState, symbol: Any) -> Any:
+        """The output function ``δ``: the selected chain, or append success."""
         if isinstance(symbol, Read):
             return state.selection.select(state.tree)
         if isinstance(symbol, Append):
@@ -104,6 +113,7 @@ class BTADT(ADT[BTState]):
         raise ValueError(f"unknown symbol {symbol!r}")
 
     def freeze(self, state: BTState) -> Any:
+        """Hashable state token for sequential-specification checking."""
         return state.freeze()
 
     @staticmethod

@@ -159,12 +159,15 @@ class Chain:
         return self._height
 
     def __len__(self) -> int:
+        """Number of blocks including genesis — O(1), never materializes."""
         return self._height + 1
 
     def __iter__(self) -> Iterator[Block]:
+        """Iterate genesis→tip (materializes a view's block tuple)."""
         return iter(self.blocks)
 
     def __getitem__(self, index):
+        """Positional access; integer probes on views are O(log n)."""
         if self._blocks is None and isinstance(index, int):
             # Views answer integer indexing with an O(log n) ancestor
             # query instead of materializing the whole path.
@@ -203,6 +206,7 @@ class Chain:
     # -- value semantics --------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        """Value equality (same-tree views compare tips in O(1))."""
         if self is other:
             return True
         if not isinstance(other, Chain):

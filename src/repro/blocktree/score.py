@@ -29,6 +29,7 @@ class ScoreFunction:
     name: str = "score"
 
     def __call__(self, chain: Chain) -> float:
+        """``score(chain)`` — strictly grows under chain extension."""
         raise NotImplementedError
 
     @property
@@ -44,6 +45,7 @@ class LengthScore(ScoreFunction):
     name: str = "length"
 
     def __call__(self, chain: Chain) -> float:
+        """The height of the tip — O(1) even on unmaterialized views."""
         return float(chain.height)
 
 
@@ -59,6 +61,7 @@ class WorkScore(ScoreFunction):
     epsilon: float = 1e-9
 
     def __call__(self, chain: Chain) -> float:
+        """Sum of per-block weights (ε-floored) — materializes the chain."""
         return sum(max(b.weight, self.epsilon) for b in chain.non_genesis())
 
 

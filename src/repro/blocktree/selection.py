@@ -51,9 +51,11 @@ class SelectionFunction:
     name: str = "f"
 
     def select(self, tree: BlockTree) -> Chain:
+        """Pick ``{b0} ⌢ f(bt)`` out of ``tree`` (an O(1) chain view)."""
         raise NotImplementedError
 
     def __call__(self, tree: BlockTree) -> Chain:
+        """Alias for :meth:`select` (``f`` is a function in the paper)."""
         return self.select(tree)
 
 
@@ -65,6 +67,7 @@ class LongestChain(SelectionFunction):
     tiebreak: Callable[[list[Block]], Block] = field(default=lexicographic_max)
 
     def select(self, tree: BlockTree) -> Chain:
+        """The max-height leaf's chain — O(1) amortized on the heap index."""
         if self.tiebreak is lexicographic_max:
             # Fast path: the tree maintains this argmax incrementally.
             return tree.chain_to(tree.best_leaf_by_height().block_id)
@@ -82,6 +85,7 @@ class HeaviestChain(SelectionFunction):
     tiebreak: Callable[[list[Block]], Block] = field(default=lexicographic_max)
 
     def select(self, tree: BlockTree) -> Chain:
+        """The max-chain-weight leaf's chain — O(1) amortized on the heap."""
         if self.tiebreak is lexicographic_max:
             return tree.chain_to(tree.best_leaf_by_weight().block_id)
         leaves = tree.leaves()
@@ -107,6 +111,7 @@ class GHOSTSelection(SelectionFunction):
     tiebreak: Callable[[list[Block]], Block] = field(default=lexicographic_max)
 
     def select(self, tree: BlockTree) -> Chain:
+        """Descend best-child pointers root→leaf — O(Δ) amortized."""
         if self.tiebreak is lexicographic_max:
             return tree.chain_to(tree.ghost_leaf().block_id)
         cursor = tree.genesis

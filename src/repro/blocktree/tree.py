@@ -26,15 +26,16 @@ on a growing tree cost near O(Δ) instead of a full rescan:
 * **Best-child pointers** (GHOST).  Subtree weights change for every
   ancestor of an appended block, which would make eager maintenance
   O(depth) per append (quadratic on a growing chain).  Appends instead
-  cost O(1): the new block is queued on a *weight backlog* and flushed
-  lazily when a subtree weight is actually observed.  The flush is
-  adaptive: a small backlog propagates each entry up its ancestor path,
-  challenge-updating ``best_child`` on the way (only the on-path child's
-  weight grew, so a local comparison suffices); a large backlog triggers
-  a single O(n) reverse-insertion-order sweep that rebuilds all subtree
-  weights and best-child pointers.  The GHOST winner leaf is cached and
-  only re-walked when some best-child pointer actually changed; the
-  common "new block extends the current winner" case updates it in O(1).
+  cost O(1): the new block's id is queued on a *weight backlog* and
+  flushed lazily when a subtree weight is actually observed.  The flush
+  is adaptive: a small backlog propagates each entry up its ancestor
+  path, challenge-updating ``best_child`` on the way (only the on-path
+  child's weight grew, so a local comparison suffices); a large backlog
+  triggers a single O(n) reverse-insertion-order sweep that rebuilds all
+  subtree weights and best-child pointers.  The GHOST winner leaf is
+  cached and only re-walked when some best-child pointer actually
+  changed; the common "new block extends the current winner" case
+  updates it in O(1).
 
 * **Chain views.**  ``chain_to`` returns an O(1) tree-backed
   :class:`~repro.blocktree.chain.Chain` *view* (tree handle + tip id +
@@ -70,6 +71,37 @@ implementations *byte-for-byte* (see :mod:`repro.blocktree.reference`
 and the differential tests): ties break on the lexicographic tie-key and
 then on insertion order exactly as the original leaf scans did.
 
+Storage split and the checkpoint/prune lifecycle
+------------------------------------------------
+
+Block *objects* are resolved through a pluggable
+:class:`~repro.storage.base.BlockStore` (:mod:`repro.storage`) while the
+fork-choice and ancestry **indices** above stay in RAM.  The tree keeps
+a resident hot-set dict of recently used blocks; with the default
+``InMemoryStore`` and no pruning it *is* the store's dict, so the
+classic all-in-RAM configuration costs nothing extra.
+
+With a durable backend and a :class:`PrunePolicy`, the tree bounds its
+resident Block objects:
+
+1. every ``chain_to`` (i.e. every fork-choice read) notes its tip;
+2. when the resident count reaches ``hot_cap``, the collective LCA of
+   the recent read tips — the prefix every recent read agrees on — is
+   taken as the *stable finalized prefix*, held back by
+   ``finality_margin`` blocks for confirmation depth;
+3. a :class:`~repro.storage.base.CheckpointRecord` is written to the
+   store and every resident block strictly below the checkpoint height
+   is evicted (the store keeps all of them — eviction is RAM-only);
+4. later deep reads (``path_blocks``, ``leaves``, iteration) *fault*
+   evicted blocks back from the store through a small LRU fault cache.
+
+Selection verdicts are byte-identical under pruning because selection
+never consults Block objects — only the index maps, which are never
+evicted.  ``tests/test_storage.py`` differential-tests this and
+``benchmarks/test_bench_storage.py`` gates the bounded hot set at the
+1M-block scale.  A crashed replica rebuilds via :meth:`BlockTree.replay`
+from the store's append-ordered scan.
+
 A frozen snapshot (:meth:`BlockTree.freeze`) provides a hashable value
 for sequential-specification checking of the BT-ADT.
 """
@@ -78,13 +110,17 @@ from __future__ import annotations
 
 import heapq
 import sys
-from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.blocktree.block import GENESIS, Block
 from repro.blocktree.chain import Chain
 
-__all__ = ["BlockTree"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.base import BlockStore, CheckpointRecord
+
+__all__ = ["BlockTree", "PrunePolicy"]
 
 
 class _RevKey:
@@ -107,6 +143,41 @@ def _tie_key(block: Block) -> str:
     return block.label or block.block_id
 
 
+@dataclass(frozen=True)
+class PrunePolicy:
+    """Configuration of the checkpoint/prune lifecycle (module docstring).
+
+    ``hot_cap`` is the resident-Block ceiling that triggers a prune
+    attempt — and, because eviction runs inside the same append, the
+    bound the 1M-block bench gates ``BlockTree.peak_resident`` against.
+    ``recent_reads`` sizes the read-tip window whose collective LCA is
+    the stable finalized prefix; ``finality_margin`` holds the
+    checkpoint that many blocks further back (confirmation depth).
+    After an attempt that cannot advance the checkpoint the tree backs
+    off for ``retry_interval`` appends (0 picks ``max(64, hot_cap//8)``)
+    so degenerate workloads don't pay an LCA fold per append.
+    """
+
+    hot_cap: int
+    recent_reads: int = 8
+    finality_margin: int = 0
+    retry_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hot_cap < 2:
+            raise ValueError("hot_cap must be >= 2 (genesis stays resident)")
+        if self.recent_reads < 1:
+            raise ValueError("recent_reads must be >= 1")
+        if self.finality_margin < 0:
+            raise ValueError("finality_margin must be >= 0")
+        if self.retry_interval < 0:
+            raise ValueError("retry_interval must be >= 0")
+
+    def effective_retry(self) -> int:
+        """Appends to wait after a prune attempt that evicted nothing."""
+        return self.retry_interval or max(64, self.hot_cap // 8)
+
+
 class BlockTree:
     """A rooted tree of blocks with incremental fork-choice indices.
 
@@ -114,22 +185,52 @@ class BlockTree:
     blocks whose parent is absent (protocol nodes buffer such *orphans*
     themselves — see :mod:`repro.protocols.base`) and is idempotent for
     blocks already present.
+
+    ``store`` selects the persistence backend (default: a fresh
+    :class:`~repro.storage.memory.InMemoryStore`, giving the classic
+    all-in-RAM behaviour); ``prune`` enables the bounded-hot-set
+    checkpoint/prune lifecycle described in the module docstring.  Pass
+    a *populated* store only through :meth:`replay`, which rebuilds the
+    indices from it.
     """
 
     _CHAIN_CACHE_LIMIT = 16
+    _FAULT_CACHE_LIMIT = 256
 
-    def __init__(self, genesis: Block = GENESIS) -> None:
+    def __init__(
+        self,
+        genesis: Block = GENESIS,
+        store: Optional["BlockStore"] = None,
+        prune: Optional[PrunePolicy] = None,
+    ) -> None:
         if not genesis.is_genesis:
             raise ValueError("BlockTree root must be a genesis block")
+        from repro.storage.memory import InMemoryStore
+
         self.genesis = genesis
         gid = sys.intern(genesis.block_id)
-        self._blocks: Dict[str, Block] = {gid: genesis}
+        self._store: "BlockStore" = store if store is not None else InMemoryStore()
+        self._prune = prune
+        # With the default in-memory backend and no pruning, the resident
+        # dict *is* the store's dict — zero duplication, byte-identical
+        # memory profile to the pre-storage layout.
+        self._shared_nodes = prune is None and isinstance(self._store, InMemoryStore)
+        if self._shared_nodes:
+            self._nodes: Dict[str, Block] = self._store._blocks
+        else:
+            self._nodes = {}
+        self._nodes[gid] = genesis
         #: Binary-lifting jump table: ``_anc[b][k]`` = 2^k-th ancestor of b.
         #: Rows are immutable tuples, shared structurally by ``copy()``.
+        #: ``row[0]`` doubles as the parent pointer for evicted blocks.
         self._anc: Dict[str, Tuple[str, ...]] = {gid: ()}
         self._children: Dict[str, List[str]] = {gid: []}
         self._height: Dict[str, int] = {gid: 0}
         self._chain_weight: Dict[str, float] = {gid: 0.0}
+        #: Exact per-block weight (kept so the GHOST sweep never needs the
+        #: Block objects of evicted nodes; chain-weight deltas would lose
+        #: float exactness against the rescan oracle).
+        self._weight: Dict[str, float] = {gid: 0.0}
         self._subtree_weight: Dict[str, float] = {gid: 0.0}
         self._leaves: Set[str] = {gid}
         # -- incremental fork-choice indices (see module docstring) --------
@@ -142,32 +243,73 @@ class BlockTree:
         ]
         self._best_child: Dict[str, Optional[str]] = {gid: None}
         self._sibling_index: Dict[str, int] = {gid: 0}
-        self._weight_backlog: List[Block] = []
+        self._weight_backlog: List[str] = []
         self._ghost_leaf: str = gid
         self._ghost_dirty: bool = False
         #: LRU of *materialized* root paths (block tuples) by tip id.
         self._chain_cache: "OrderedDict[str, Tuple[Block, ...]]" = OrderedDict()
+        # -- checkpoint/prune lifecycle state -------------------------------
+        #: LRU of blocks faulted back from the store after eviction.
+        self._fault_cache: "OrderedDict[str, Block]" = OrderedDict()
+        self._recent_reads: Deque[str] = deque(
+            maxlen=prune.recent_reads if prune is not None else 8
+        )
+        self._checkpoint_id: str = gid
+        self._checkpoint_height: int = 0
+        self._prune_cooldown: int = 0
+        #: Lifecycle counters (inspected by benches and ``stats()``).
+        self.fault_count: int = 0
+        self.prune_count: int = 0
+        self.evicted_total: int = 0
+        self.peak_resident: int = 1
 
     # -- queries ----------------------------------------------------------
 
     def __contains__(self, block_id: str) -> bool:
-        return block_id in self._blocks
+        """Membership over *all* blocks ever added (evicted ones included)."""
+        return block_id in self._height
 
     def __len__(self) -> int:
-        """Number of blocks including genesis."""
-        return len(self._blocks)
+        """Number of blocks including genesis (eviction does not shrink it)."""
+        return len(self._height)
 
     def get(self, block_id: str) -> Block:
-        """Return the block with ``block_id`` (KeyError if absent)."""
-        return self._blocks[block_id]
+        """Return the block with ``block_id`` (KeyError if absent).
+
+        Resident blocks are a dict hit; evicted blocks fault back from
+        the store through the LRU fault cache (see the lifecycle note in
+        the module docstring).
+        """
+        block = self._nodes.get(block_id)
+        if block is not None:
+            return block
+        return self._fault(block_id)
+
+    def _fault(self, block_id: str) -> Block:
+        """Load an evicted block from the store (LRU-cached, interned)."""
+        cache = self._fault_cache
+        block = cache.get(block_id)
+        if block is not None:
+            cache.move_to_end(block_id)
+            return block
+        block = self._store.get(block_id)  # KeyError for unknown ids
+        bid = sys.intern(block.block_id)
+        object.__setattr__(block, "block_id", bid)
+        if block.parent_id is not None:
+            object.__setattr__(block, "parent_id", sys.intern(block.parent_id))
+        cache[bid] = block
+        if len(cache) > self._FAULT_CACHE_LIMIT:
+            cache.popitem(last=False)
+        self.fault_count += 1
+        return block
 
     def blocks(self) -> Iterator[Block]:
-        """Iterate over all blocks (insertion order)."""
-        return iter(self._blocks.values())
+        """Iterate over all blocks (insertion order; evicted ones fault)."""
+        return (self.get(bid) for bid in self._height)
 
     def children(self, block_id: str) -> Tuple[Block, ...]:
         """The direct children of ``block_id`` in insertion order."""
-        return tuple(self._blocks[c] for c in self._children[block_id])
+        return tuple(self.get(c) for c in self._children[block_id])
 
     def height(self, block_id: str) -> int:
         """Distance of ``block_id`` from the root."""
@@ -184,7 +326,7 @@ class BlockTree:
 
     def leaves(self) -> Tuple[Block, ...]:
         """All current leaves, in insertion order of their ids."""
-        return tuple(self._blocks[b] for b in sorted(self._leaves))
+        return tuple(self.get(b) for b in sorted(self._leaves))
 
     def fork_degree(self, block_id: str) -> int:
         """Number of children of ``block_id`` — the number of forks from it."""
@@ -260,7 +402,7 @@ class BlockTree:
         leaves = self._leaves
         while heap[0][2] not in leaves:
             heapq.heappop(heap)
-        return self._blocks[heap[0][2]]
+        return self.get(heap[0][2])
 
     def best_leaf_by_weight(self) -> Block:
         """The leaf the heaviest-chain rule selects (lexicographic ties)."""
@@ -268,13 +410,13 @@ class BlockTree:
         leaves = self._leaves
         while heap[0][2] not in leaves:
             heapq.heappop(heap)
-        return self._blocks[heap[0][2]]
+        return self.get(heap[0][2])
 
     def best_child(self, block_id: str) -> Optional[Block]:
         """The child GHOST descends into from ``block_id`` (None at leaves)."""
         self._flush_weights()
         child = self._best_child[block_id]
-        return None if child is None else self._blocks[child]
+        return None if child is None else self.get(child)
 
     def ghost_leaf(self) -> Block:
         """The leaf the GHOST rule selects (lexicographic ties)."""
@@ -289,32 +431,39 @@ class BlockTree:
                 cursor = nxt
             self._ghost_leaf = cursor
             self._ghost_dirty = False
-        return self._blocks[self._ghost_leaf]
+        return self.get(self._ghost_leaf)
 
     def _flush_weights(self) -> None:
-        """Apply the append backlog to subtree weights and GHOST indices."""
+        """Apply the append backlog to subtree weights and GHOST indices.
+
+        The backlog holds block *ids*, not Block objects — pruning must
+        be able to free the objects while GHOST bookkeeping is pending;
+        weights come from ``_weight`` and parents from the jump table.
+        """
         backlog = self._weight_backlog
         if not backlog:
             return
         self._weight_backlog = []
-        n = len(self._blocks)
+        n = len(self._height)
         height = self._height
         # Per-entry propagation walks each new block's ancestor path; a
         # full sweep costs one pass over the tree.  Pick the cheaper one.
         estimated = 0
-        for block in backlog:
-            estimated += height[block.block_id]
+        for bid in backlog:
+            estimated += height[bid]
             if estimated > 2 * n:
                 self._full_weight_sweep()
                 return
         sub = self._subtree_weight
-        blocks = self._blocks
+        anc = self._anc
+        weight = self._weight
         best_child = self._best_child
         keys = self._tie_keys
-        for block in backlog:
-            w = block.weight
-            child = block.block_id
-            cursor = block.parent_id
+        for bid in backlog:
+            w = weight[bid]
+            child = bid
+            row = anc[bid]
+            cursor = row[0] if row else None
             while cursor is not None:
                 sub[cursor] += w
                 incumbent = best_child[cursor]
@@ -341,18 +490,20 @@ class BlockTree:
                             best_child[cursor] = child
                             self._ghost_dirty = True
                 child = cursor
-                cursor = blocks[cursor].parent_id
+                row = anc[cursor]
+                cursor = row[0] if row else None
 
     def _full_weight_sweep(self) -> None:
         """Rebuild subtree weights and best-child pointers in O(n)."""
-        blocks = self._blocks
-        sub = {bid: blk.weight for bid, blk in blocks.items()}
+        anc = self._anc
+        weight = self._weight
+        sub = {bid: weight[bid] for bid in self._height}
         # The genesis convention: its own weight never counts (see __init__).
         sub[self.genesis.block_id] = 0.0
-        for bid, blk in reversed(list(blocks.items())):
-            pid = blk.parent_id
-            if pid is not None:
-                sub[pid] += sub[bid]
+        for bid in reversed(list(self._height)):
+            row = anc[bid]
+            if row:
+                sub[row[0]] += sub[bid]
         keys = self._tie_keys
         best_child: Dict[str, Optional[str]] = {}
         for pid, kids in self._children.items():
@@ -376,14 +527,17 @@ class BlockTree:
 
         Appends are O(1) amortized: the expensive GHOST bookkeeping is
         deferred to the next subtree-weight observation (see the module
-        docstring's design note).
+        docstring's design note).  The block is written through to the
+        store, and — when a :class:`PrunePolicy` is configured and the
+        resident hot set has reached its cap — a prune attempt runs
+        before returning.
         """
         bid = block.block_id
-        if bid in self._blocks:
+        if bid in self._height:
             return False
         if block.parent_id is None:
             raise ValueError("cannot insert a second genesis block")
-        if block.parent_id not in self._blocks:
+        if block.parent_id not in self._height:
             raise KeyError(f"parent {block.parent_id!r} not in tree")
         # Intern the id strings (in the block itself, so every replica's
         # index maps share one object per id — a large memory win on
@@ -392,7 +546,9 @@ class BlockTree:
         parent_id = sys.intern(block.parent_id)
         object.__setattr__(block, "block_id", bid)
         object.__setattr__(block, "parent_id", parent_id)
-        self._blocks[bid] = block
+        self._nodes[bid] = block
+        if not self._shared_nodes:
+            self._store.put(block)
         self._children[bid] = []
         self._sibling_index[bid] = len(self._children[parent_id])
         self._children[parent_id].append(bid)
@@ -400,6 +556,7 @@ class BlockTree:
         self._height[bid] = height
         chain_weight = self._chain_weight[parent_id] + block.weight
         self._chain_weight[bid] = chain_weight
+        self._weight[bid] = block.weight
         self._subtree_weight[bid] = block.weight
         self._best_child[bid] = None
         # Binary-lifting row: row[k] = 2^k-th ancestor, derived from the
@@ -419,18 +576,185 @@ class BlockTree:
         self._tie_keys[bid] = key
         heapq.heappush(self._height_heap, (-height, _RevKey(key), bid))
         heapq.heappush(self._weight_heap, (-chain_weight, _RevKey(key), bid))
-        self._weight_backlog.append(block)
+        self._weight_backlog.append(bid)
         self._leaves.discard(parent_id)
         self._leaves.add(bid)
+        resident = len(self._nodes)
+        if resident > self.peak_resident:
+            self.peak_resident = resident
+        policy = self._prune
+        if policy is not None and resident >= policy.hot_cap:
+            if self._prune_cooldown > 0:
+                self._prune_cooldown -= 1
+            else:
+                self.maybe_prune()
         return True
 
     def add_chain(self, chain: Chain) -> int:
         """Insert every missing block of ``chain``; returns how many were new."""
         added = 0
         for block in chain.non_genesis():
-            if block.block_id not in self._blocks:
+            if block.block_id not in self._height:
                 added += int(self.add_block(block))
         return added
+
+    # -- checkpoint/prune lifecycle ------------------------------------------
+
+    @property
+    def resident_count(self) -> int:
+        """Number of Block objects currently held in the hot set."""
+        return len(self._nodes)
+
+    @property
+    def checkpoint_id(self) -> str:
+        """Tip of the last checkpointed finalized prefix (genesis initially)."""
+        return self._checkpoint_id
+
+    @property
+    def checkpoint_height(self) -> int:
+        """Height of the last checkpoint block."""
+        return self._checkpoint_height
+
+    def checkpoint(self, block_id: str, note: str = "") -> "CheckpointRecord":
+        """Declare ``block_id`` the tip of the stable finalized prefix.
+
+        Writes a :class:`~repro.storage.base.CheckpointRecord` to the
+        store and moves the tree's checkpoint marker; does **not** evict
+        anything by itself (:meth:`maybe_prune` combines both).  Raises
+        ``KeyError`` for unknown blocks and ``ValueError`` when the new
+        checkpoint does not extend the current one — the store's
+        checkpoint sequence is a chain of prefix extensions (finality is
+        monotone), never a jump to a conflicting branch.
+        """
+        from repro.storage.base import CheckpointRecord
+
+        bid = sys.intern(block_id)
+        height = self._height[bid]
+        if height < self._checkpoint_height or not self.is_ancestor(
+            self._checkpoint_id, bid
+        ):
+            raise ValueError(
+                f"checkpoint {bid[:12]} (height {height}) does not extend the "
+                f"current checkpoint at height {self._checkpoint_height}"
+            )
+        self._checkpoint_id = bid
+        self._checkpoint_height = height
+        record = CheckpointRecord(
+            block_id=bid,
+            height=height,
+            block_count=len(self._height) - 1,
+            note=note,
+        )
+        self._store.put_checkpoint(record)
+        return record
+
+    def maybe_prune(self) -> int:
+        """One checkpoint/prune step; returns how many nodes were evicted.
+
+        The stable finalized prefix is the collective LCA of the recent
+        read tips (every fork-choice read notes its tip), held back by
+        the policy's ``finality_margin``.  If that advances the
+        checkpoint, a record is written and every resident block below
+        the checkpoint height is evicted; otherwise the tree backs off
+        for ``retry_interval`` appends.  No-op without a policy.
+        """
+        policy = self._prune
+        if policy is None or not self._recent_reads:
+            return 0
+        tips = set(self._recent_reads)
+        it = iter(tips)
+        stable = next(it)
+        for tip in it:
+            stable = self.lca(stable, tip)
+        target = self._height[stable] - policy.finality_margin
+        if target <= self._checkpoint_height or not self.is_ancestor(
+            self._checkpoint_id, stable
+        ):
+            # Nothing finalized beyond the current checkpoint — or the
+            # recent reads reorged onto a branch conflicting with it, in
+            # which case pruning conservatively stalls rather than move
+            # finality across branches.  Back off either way.
+            self._prune_cooldown = policy.effective_retry()
+            return 0
+        if target < self._height[stable]:
+            stable = self.ancestor_at_depth(stable, target)
+        self.checkpoint(stable, note="auto-prune")
+        return self._evict_below(target)
+
+    def _evict_below(self, height: int) -> int:
+        """Drop resident Block objects strictly below ``height``.
+
+        The store keeps every block, all index maps stay intact, and the
+        materialization caches are cleared (they pin Block tuples).
+        """
+        if self._shared_nodes:
+            raise RuntimeError(
+                "cannot evict from a tree sharing its nodes with an "
+                "in-memory store (configure a PrunePolicy at construction)"
+            )
+        nodes = self._nodes
+        heights = self._height
+        gid = self.genesis.block_id
+        evict = [bid for bid in nodes if heights[bid] < height and bid != gid]
+        for bid in evict:
+            del nodes[bid]
+        if evict:
+            # The chain cache pins whole Block-tuple paths — clear it.
+            # The fault cache stays: blocks are immutable and the store
+            # is append-only, so its (bounded) entries never go stale.
+            self._chain_cache.clear()
+            self.prune_count += 1
+            self.evicted_total += len(evict)
+        return len(evict)
+
+    def stats(self) -> Dict[str, int]:
+        """Lifecycle counters: residency, faults, prunes, checkpoint height."""
+        return {
+            "blocks": len(self._height),
+            "resident": len(self._nodes),
+            "peak_resident": self.peak_resident,
+            "fault_count": self.fault_count,
+            "prune_count": self.prune_count,
+            "evicted_total": self.evicted_total,
+            "checkpoint_height": self._checkpoint_height,
+        }
+
+    @classmethod
+    def replay(
+        cls,
+        store: "BlockStore",
+        genesis: Block = GENESIS,
+        prune: Optional[PrunePolicy] = None,
+    ) -> "BlockTree":
+        """Rebuild a tree from a store's append-ordered scan.
+
+        This is the crash-recovery path: stores are written
+        parent-before-child (the tree's own insertion order), so one
+        pass over ``store.scan()`` reconstructs every index.  The last
+        surviving checkpoint record is restored as the checkpoint
+        marker when its block made it into the log.
+
+        With a ``prune`` policy, each appended block is noted as a
+        synthetic read so the lifecycle runs *during* the rebuild —
+        recovery of a 1M-block log stays under the same bounded hot set
+        the original run had, instead of faulting the whole tree
+        resident.
+        """
+        tree = cls(genesis, store=store, prune=prune)
+        reads = tree._recent_reads
+        for block in store.scan():
+            if block.is_genesis:
+                continue
+            if prune is not None:
+                # Note the tip *before* add_block so its prune attempt
+                # sees a current read window.
+                reads.append(block.block_id)
+            tree.add_block(block)
+        ckpt = store.last_checkpoint()
+        if ckpt is not None and ckpt.block_id in tree._height:
+            tree._checkpoint_id = sys.intern(ckpt.block_id)
+            tree._checkpoint_height = tree._height[tree._checkpoint_id]
+        return tree
 
     # -- chain extraction ---------------------------------------------------
 
@@ -440,22 +764,28 @@ class BlockTree:
         Returns a tree-backed :class:`Chain` view; the block tuple is
         materialized lazily through :meth:`path_blocks` only if a
         consumer iterates it.  Raises ``KeyError`` for unknown blocks.
+        On pruning trees the tip is noted as a recent read — the prune
+        lifecycle finalizes the prefix recent reads agree on.
         """
-        return Chain.view(self, block_id)
+        chain = Chain.view(self, block_id)  # KeyError for unknown tips
+        if self._prune is not None:
+            self._recent_reads.append(block_id)
+        return chain
 
     def path_blocks(self, block_id: str) -> Tuple[Block, ...]:
         """The materialized genesis→``block_id`` block tuple.
 
         Reuses cached path segments: only the suffix below the nearest
         previously materialized path is walked (paths to the root never
-        change, so cache entries stay valid forever).
+        change, so cache entries stay valid forever).  Evicted blocks
+        fault back from the store on the way.
         """
         cache = self._chain_cache
         hit = cache.get(block_id)
         if hit is not None:
             cache.move_to_end(block_id)
             return hit
-        blocks = self._blocks
+        nodes = self._nodes
         suffix: List[Block] = []
         cursor: Optional[str] = block_id
         base: Optional[Tuple[Block, ...]] = None
@@ -464,7 +794,9 @@ class BlockTree:
             if cached is not None:
                 base = cached
                 break
-            block = blocks[cursor]
+            block = nodes.get(cursor)
+            if block is None:
+                block = self._fault(cursor)
             suffix.append(block)
             cursor = block.parent_id
         suffix.reverse()
@@ -480,14 +812,25 @@ class BlockTree:
     # -- persistence ---------------------------------------------------------
 
     def copy(self) -> "BlockTree":
-        """An independent copy of this tree (same Block objects)."""
+        """An independent copy of this tree (same Block objects).
+
+        Requires a store that supports ``copy()`` — the default
+        in-memory backend does; durable backends refuse rather than
+        aliasing one file from two trees (rebuild via :meth:`replay`
+        instead).
+        """
         self._flush_weights()
-        clone = BlockTree(self.genesis)
-        clone._blocks = dict(self._blocks)
+        clone = BlockTree(self.genesis, store=self._store.copy(), prune=self._prune)
+        if clone._shared_nodes:
+            # The copied store's dict already holds every block.
+            pass
+        else:
+            clone._nodes = dict(self._nodes)
         clone._children = {k: list(v) for k, v in self._children.items()}
         clone._anc = dict(self._anc)  # rows are immutable tuples: shared
         clone._height = dict(self._height)
         clone._chain_weight = dict(self._chain_weight)
+        clone._weight = dict(self._weight)
         clone._subtree_weight = dict(self._subtree_weight)
         clone._leaves = set(self._leaves)
         clone._tie_keys = dict(self._tie_keys)
@@ -502,22 +845,25 @@ class BlockTree:
         # copying the LRU made clone cost scale with cached chain depth
         # (the entries are pure caches — the clone rebuilds them on use).
         clone._chain_cache = OrderedDict()
+        clone._recent_reads = deque(self._recent_reads, maxlen=self._recent_reads.maxlen)
+        clone._checkpoint_id = self._checkpoint_id
+        clone._checkpoint_height = self._checkpoint_height
         return clone
 
     def freeze(self) -> Tuple[Tuple[str, str], ...]:
-        """A hashable snapshot: sorted ``(block_id, parent_id)`` edges."""
+        """A hashable snapshot: sorted ``(block_id, parent_id)`` edges.
+
+        Derived from the jump table (``row[0]`` is the parent), so it
+        never faults evicted blocks.
+        """
         return tuple(
-            sorted(
-                (b.block_id, b.parent_id or "")
-                for b in self._blocks.values()
-                if not b.is_genesis
-            )
+            sorted((bid, row[0]) for bid, row in self._anc.items() if row)
         )
 
     def describe(self, block_id: str | None = None, indent: int = 0) -> str:
         """ASCII rendering of the tree (children indented under parents)."""
         root = block_id or self.genesis.block_id
-        lines = [" " * indent + self._blocks[root].short()]
+        lines = [" " * indent + self.get(root).short()]
         for child in self._children[root]:
             lines.append(self.describe(child, indent + 2))
         return "\n".join(lines)

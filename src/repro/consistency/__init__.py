@@ -14,6 +14,17 @@ clauses (Ever-Growing Tree, Eventual Prefix) are decided under the
 continuation semantics of :mod:`repro.histories.continuation`; without a
 continuation declaration a finite history is complete and satisfies them
 vacuously.
+
+Complexity guarantees (n blocks, r reads, c chain length, p
+reads-forever processes; README § Performance for the measured gates):
+batch Strong Prefix O(r·log n) via a running-maximum scan, Eventual
+Prefix O(p·log n + r) via a collective-LCA fold, Block Validity
+O(n + r) via a cumulative root-path memo; the online
+:class:`~repro.consistency.monitor.ConsistencyMonitor` pays O(log c)
+per read for Strong Prefix and amortized O(Δ) for Block Validity.
+Failing verdicts delegate to the retained pairwise reference
+(:mod:`repro.consistency.reference`), so witnesses are byte-identical
+to the pre-index implementation.
 """
 
 from repro.consistency.properties import (

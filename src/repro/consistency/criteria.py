@@ -50,6 +50,7 @@ class CriterionReport:
         return all(c.ok for c in self.checks.values())
 
     def __bool__(self) -> bool:
+        """Truthiness is the composed verdict (``if report: …``)."""
         return self.ok
 
     def failures(self) -> Dict[str, PropertyCheck]:

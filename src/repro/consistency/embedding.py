@@ -155,6 +155,8 @@ def linearize_bt_history(
         return new_tree
 
     def dfs(remaining: FrozenSet[int], tree: BlockTree, order: List[int]) -> Optional[bool]:
+        """Backtracking search over linear extensions (memoized on
+        ``(remaining, frozen tree)``; None = node budget exhausted)."""
         nonlocal nodes_visited
         if not remaining:
             return True

@@ -49,7 +49,12 @@ class BlockchainNode(SimProcess):
     def __init__(self, name: str, scenario: ProtocolScenario) -> None:
         super().__init__(name)
         self.scenario = scenario
-        self.tree = BlockTree()
+        # The replica tree persists through the scenario's block-store
+        # backend (the --store knob); with `prune_hot_cap` set, finalized
+        # prefixes are checkpointed and evicted from the hot set.
+        self.tree = BlockTree(
+            store=scenario.build_store(name), prune=scenario.build_prune()
+        )
         self.selection: SelectionFunction = LongestChain()
         self.orphans: Dict[str, List[Block]] = {}
         self.seen_blocks: set = {self.tree.genesis.block_id}
@@ -245,6 +250,10 @@ class ProtocolRun:
     def max_fork_degree(self) -> int:
         """The widest fork observed on any replica."""
         return max(n.tree.max_fork_degree() for n in self.nodes)
+
+    def storage_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-node block-store lifecycle counters (``BlockTree.stats``)."""
+        return {n.name: n.tree.stats() for n in self.nodes}
 
     def parent_map(self) -> Dict[str, str]:
         """block_id → parent_id over all blocks on all replicas."""

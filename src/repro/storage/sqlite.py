@@ -1,0 +1,146 @@
+"""SQLite block store: queryable durability on the stdlib ``sqlite3``.
+
+Blocks are stored as ``(seq, block_id, body)`` rows — ``seq`` preserves
+the append order ``scan``/replay rely on, ``body`` is the shared
+:func:`~repro.storage.base.encode_block` encoding, and ``block_id`` is
+UNIQUE so puts are idempotent at the schema level.  Writes ride one
+long-lived transaction committed every ``commit_every`` puts (and on
+``flush``/``close``) — per-row autocommit would fsync every insert and
+collapse append throughput.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from typing import Iterator, Optional
+
+from repro.blocktree.block import Block
+from repro.storage.base import (
+    BlockStore,
+    CheckpointRecord,
+    decode_block,
+    encode_block,
+)
+
+__all__ = ["SQLiteStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS blocks (
+    seq      INTEGER PRIMARY KEY AUTOINCREMENT,
+    block_id TEXT NOT NULL UNIQUE,
+    body     BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    seq         INTEGER PRIMARY KEY AUTOINCREMENT,
+    block_id    TEXT NOT NULL,
+    height      INTEGER NOT NULL,
+    block_count INTEGER NOT NULL,
+    note        TEXT NOT NULL DEFAULT ''
+);
+"""
+
+
+class SQLiteStore(BlockStore):
+    """Block store over ``sqlite3`` (``":memory:"`` for an ephemeral db).
+
+    Parameters
+    ----------
+    path:
+        Database file (parents created) or ``":memory:"``.
+    commit_every:
+        Puts per transaction commit; higher = faster appends, more
+        work lost on a crash between commits.
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path: str = ":memory:", commit_every: int = 4096) -> None:
+        self.path = str(path)
+        self.commit_every = commit_every
+        if self.path != ":memory:":
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._pending = 0
+
+    def _commit(self) -> None:
+        self._conn.commit()
+        self._pending = 0
+
+    # -- blocks -----------------------------------------------------------
+
+    def put(self, block: Block) -> None:
+        """INSERT OR IGNORE one encoded block row."""
+        self._conn.execute(
+            "INSERT OR IGNORE INTO blocks (block_id, body) VALUES (?, ?)",
+            (block.block_id, encode_block(block)),
+        )
+        self._pending += 1
+        if self._pending >= self.commit_every:
+            self._commit()
+
+    def get(self, block_id: str) -> Block:
+        """Decode the row under ``block_id`` (KeyError if absent)."""
+        row = self._conn.execute(
+            "SELECT body FROM blocks WHERE block_id = ?", (block_id,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(block_id)
+        return decode_block(row[0])
+
+    def __contains__(self, block_id: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM blocks WHERE block_id = ?", (block_id,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM blocks").fetchone()[0]
+
+    def scan(self) -> Iterator[Block]:
+        """Blocks in append order (``seq`` ascending)."""
+        cursor = self._conn.execute("SELECT body FROM blocks ORDER BY seq")
+        for (body,) in cursor:
+            yield decode_block(body)
+
+    # -- checkpoints ------------------------------------------------------
+
+    def put_checkpoint(self, record: CheckpointRecord) -> None:
+        """Append one checkpoint row (committed immediately)."""
+        self._conn.execute(
+            "INSERT INTO checkpoints (block_id, height, block_count, note) "
+            "VALUES (?, ?, ?, ?)",
+            (record.block_id, record.height, record.block_count, record.note),
+        )
+        self._commit()
+
+    def last_checkpoint(self) -> Optional[CheckpointRecord]:
+        """The newest checkpoint row, or None."""
+        row = self._conn.execute(
+            "SELECT block_id, height, block_count, note FROM checkpoints "
+            "ORDER BY seq DESC LIMIT 1"
+        ).fetchone()
+        if row is None:
+            return None
+        return CheckpointRecord(
+            block_id=row[0], height=row[1], block_count=row[2], note=row[3]
+        )
+
+    # -- lifecycle --------------------------------------------------------
+
+    def flush(self) -> None:
+        """Commit the open transaction."""
+        self._commit()
+
+    def close(self) -> None:
+        """Commit and close the connection."""
+        try:
+            self._commit()
+        except sqlite3.ProgrammingError:
+            return  # already closed
+        self._conn.close()

@@ -27,13 +27,16 @@ Three layers, all deterministic per seed:
 
 from __future__ import annotations
 
+import os
 import random
+import tempfile
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.blocktree.block import GENESIS, Block, make_block
-from repro.blocktree.tree import BlockTree
+from repro.blocktree.tree import BlockTree, PrunePolicy
+from repro.storage import STORE_KINDS, BlockStore, open_store
 
 __all__ = [
     "GOSSIP_TAG",
@@ -74,6 +77,18 @@ class ProtocolScenario:
     #: When > 0, ProtocolRun.execute samples a (time, max fork degree,
     #: max height) series at this interval during the run.
     metrics_interval: float = 0.0
+    #: Block-store backend per replica: ``"memory"`` (default), ``"log"``
+    #: or ``"sqlite"`` — the ``--store`` knob (see :mod:`repro.storage`).
+    store: str = "memory"
+    #: Directory for durable per-node store files; a fresh temp dir per
+    #: node when unset.
+    store_dir: Optional[str] = None
+    #: When > 0, each replica tree prunes its resident hot set to this
+    #: cap (requires a non-memory ``store``; see PrunePolicy.hot_cap).
+    prune_hot_cap: int = 0
+    #: Confirmation depth held back below the recent-read LCA when the
+    #: prune lifecycle checkpoints (PrunePolicy.finality_margin).
+    prune_margin: int = 16
 
     def __post_init__(self) -> None:
         self.validate()
@@ -104,6 +119,17 @@ class ProtocolScenario:
                 )
             if any(m < 0 for m in self.merits):
                 raise ValueError("merits must be non-negative")
+        kind = self.store.partition(":")[0].strip().lower()
+        if kind not in STORE_KINDS:
+            raise ValueError(
+                f"unknown store {self.store!r}; expected one of {sorted(STORE_KINDS)}"
+            )
+        if self.prune_hot_cap < 0 or self.prune_hot_cap == 1:
+            raise ValueError("prune_hot_cap must be 0 (disabled) or >= 2")
+        if self.prune_hot_cap and kind == "memory":
+            raise ValueError("pruning needs a durable store (log or sqlite)")
+        if self.prune_margin < 0:
+            raise ValueError("prune_margin must be >= 0")
 
     def merit_of(self, index: int) -> float:
         """The merit α of node ``index`` (uniform when unspecified)."""
@@ -128,6 +154,36 @@ class ProtocolScenario:
         from repro.net.channels import SynchronousChannel
 
         return SynchronousChannel(delta=self.channel_delta), {}
+
+    # -- storage knob -------------------------------------------------------
+
+    def build_store(self, node_name: str) -> BlockStore:
+        """Open the block store one replica's tree persists through.
+
+        ``"memory"`` costs nothing; durable backends get one file per
+        node under ``store_dir`` (which an inline ``kind:directory``
+        spec also sets; a fresh temp directory when neither is given,
+        so replicas never share a log).
+        """
+        kind, _, inline = self.store.partition(":")
+        kind = kind.strip().lower()
+        if kind == "memory":
+            return open_store("memory")
+        directory = (
+            self.store_dir
+            or inline.strip()
+            or tempfile.mkdtemp(prefix=f"repro-{self.name}-")
+        )
+        suffix = "btlog" if kind == "log" else "db"
+        return open_store(kind, path=os.path.join(directory, f"{node_name}.{suffix}"))
+
+    def build_prune(self) -> Optional[PrunePolicy]:
+        """The replica-tree prune policy, or None when pruning is off."""
+        if not self.prune_hot_cap:
+            return None
+        return PrunePolicy(
+            hot_cap=self.prune_hot_cap, finality_margin=self.prune_margin
+        )
 
 
 # -- adversarial fault structure --------------------------------------------------
@@ -446,13 +502,24 @@ class TreeScenario:
         self,
         tree: Optional[BlockTree] = None,
         on_block: Optional[Callable[[BlockTree, Block], None]] = None,
+        store: Union[BlockStore, str, None] = None,
+        prune: Optional[PrunePolicy] = None,
     ) -> BlockTree:
         """Grow ``tree`` (a fresh one by default) with the workload.
 
         ``on_block(tree, block)`` runs after every insertion — the perf
-        benches use it to interleave reads with growth.
+        benches use it to interleave reads with growth.  ``store`` (a
+        :class:`~repro.storage.base.BlockStore` or a spec string for
+        :func:`repro.storage.open_store`) and ``prune`` configure the
+        fresh tree's backend and hot-set lifecycle; they cannot be
+        combined with an explicit ``tree``.
         """
-        tree = tree if tree is not None else BlockTree()
+        if tree is not None and (store is not None or prune is not None):
+            raise ValueError("pass store/prune or an existing tree, not both")
+        if tree is None:
+            if isinstance(store, str):
+                store = open_store(store)
+            tree = BlockTree(store=store, prune=prune)
         for block in self.blocks():
             tree.add_block(block)
             if on_block is not None:

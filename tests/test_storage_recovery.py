@@ -1,0 +1,174 @@
+"""Crash recovery: kill/reopen an AppendOnlyLogStore mid-scenario.
+
+The log store's recovery contract (``logstore.py`` module docstring):
+every record fully written before a crash survives; a torn tail — a
+partial head, a short body, or a CRC-corrupted body — is truncated on
+reopen and the store keeps working.  These tests kill a scenario run at
+an arbitrary block, mutilate the log tail the way a crash would, replay
+the survivors into a fresh tree and assert its reads match the
+uninterrupted run block for block.
+"""
+
+import os
+
+import pytest
+
+from repro.blocktree import BlockTree, LongestChain, PrunePolicy, make_block
+from repro.blocktree.block import GENESIS
+from repro.storage import AppendOnlyLogStore, StoreError
+from repro.storage.logstore import _HEAD, _MAGIC
+from repro.workloads.scenarios import TreeScenario
+
+SCENARIO = TreeScenario(name="crash", n_blocks=2000, fork_rate=0.06, fork_window=5)
+KILL_AT = 1312  # an arbitrary mid-scenario block index
+
+
+def _read_after_each_block(tree, blocks):
+    """Grow ``tree`` and return the (tip id, height) verdict per append."""
+    select = LongestChain().select
+    verdicts = []
+    for block in blocks:
+        tree.add_block(block)
+        chain = select(tree)
+        verdicts.append((chain.tip_id, chain.height))
+    return verdicts
+
+
+@pytest.fixture
+def uninterrupted():
+    """The oracle: the same scenario run start-to-finish in RAM."""
+    return _read_after_each_block(BlockTree(), SCENARIO.blocks())
+
+
+def test_kill_and_reopen_matches_uninterrupted_run(tmp_path, uninterrupted):
+    path = str(tmp_path / "crash.btlog")
+    blocks = list(SCENARIO.blocks())
+
+    # Phase 1: run up to the kill point, then "crash" (drop all state
+    # without closing; the OS file survives, the process memory doesn't).
+    store = AppendOnlyLogStore(path)
+    tree = BlockTree(store=store, prune=PrunePolicy(hot_cap=300, finality_margin=8))
+    before_kill = _read_after_each_block(tree, blocks[:KILL_AT])
+    assert before_kill == uninterrupted[:KILL_AT]
+    store.flush()  # the crash happens after the last durability point
+    del tree, store
+
+    # Phase 2: reopen, replay, and verify the rebuilt tree answers the
+    # kill-point read exactly like the uninterrupted run did.
+    reopened = AppendOnlyLogStore(path)
+    rebuilt = BlockTree.replay(
+        reopened, prune=PrunePolicy(hot_cap=300, finality_margin=8)
+    )
+    assert len(rebuilt) == KILL_AT + 1
+    # Recovery itself runs under the bounded hot set (synthetic reads
+    # during replay drive the prune lifecycle) — a replica sized for the
+    # cap must not need the whole tree resident just to reboot.
+    assert rebuilt.peak_resident <= 300
+    chain = LongestChain().select(rebuilt)
+    assert (chain.tip_id, chain.height) == uninterrupted[KILL_AT - 1]
+    # The checkpoint marker survives the crash too.
+    assert rebuilt.checkpoint_height > 0
+    assert reopened.last_checkpoint().block_id == rebuilt.checkpoint_id
+
+    # Phase 3: finish the scenario on the rebuilt tree; every remaining
+    # read must match the run that never crashed.
+    after = _read_after_each_block(rebuilt, blocks[KILL_AT:])
+    assert after == uninterrupted[KILL_AT:]
+    reopened.close()
+
+
+def _store_with_chain(path, n=40):
+    store = AppendOnlyLogStore(path)
+    parent = GENESIS
+    blocks = []
+    for i in range(n):
+        block = make_block(parent, label=f"c{i}")
+        store.put(block)
+        blocks.append(block)
+        parent = block
+    store.flush()
+    return store, blocks
+
+
+@pytest.mark.parametrize("torn_bytes", [1, _HEAD.size - 1, _HEAD.size + 3])
+def test_torn_tail_is_truncated_on_reopen(tmp_path, torn_bytes):
+    """A record cut anywhere — head or body — rolls back to the prefix."""
+    path = str(tmp_path / "torn.btlog")
+    store, blocks = _store_with_chain(path)
+    store.close()
+    full_size = os.path.getsize(path)
+
+    # Simulate a crash mid-write: append a record prefix that never
+    # finished (torn head and torn body variants).
+    with open(path, "ab") as fh:
+        record = _HEAD.pack(b"B", 1000, 12345) + b"x" * 64
+        fh.write(record[:torn_bytes])
+
+    reopened = AppendOnlyLogStore(path)
+    assert len(reopened) == len(blocks)  # every complete record survived
+    assert os.path.getsize(path) == full_size  # the torn tail is gone
+    # The log keeps accepting appends after recovery.
+    extra = make_block(blocks[-1], label="post-crash")
+    reopened.put(extra)
+    reopened.flush()
+    assert reopened.get(extra.block_id) == extra
+    reopened.close()
+
+
+def test_corrupt_crc_tail_is_dropped(tmp_path):
+    path = str(tmp_path / "crc.btlog")
+    store, blocks = _store_with_chain(path)
+    store.close()
+    # Flip one byte in the *last* record's body: CRC now fails, so the
+    # reopen must drop exactly that record and keep the prefix.
+    with open(path, "r+b") as fh:
+        fh.seek(-1, os.SEEK_END)
+        last = fh.read(1)
+        fh.seek(-1, os.SEEK_END)
+        fh.write(bytes([last[0] ^ 0xFF]))
+    reopened = AppendOnlyLogStore(path)
+    assert len(reopened) == len(blocks) - 1
+    assert blocks[-1].block_id not in reopened
+    assert blocks[-2].block_id in reopened
+    reopened.close()
+
+
+def test_bad_magic_is_refused(tmp_path):
+    path = tmp_path / "notalog.btlog"
+    path.write_bytes(b"definitely not a block log" + b"\x00" * 32)
+    with pytest.raises(StoreError):
+        AppendOnlyLogStore(str(path))
+
+
+def test_reopen_empty_file_starts_fresh(tmp_path):
+    path = tmp_path / "empty.btlog"
+    path.write_bytes(b"")
+    store = AppendOnlyLogStore(str(path))
+    assert len(store) == 0
+    store.put(make_block(GENESIS, label="a"))
+    store.close()
+    reopened = AppendOnlyLogStore(str(path))
+    assert len(reopened) == 1
+    reopened.close()
+    assert path.read_bytes().startswith(_MAGIC)
+
+
+def test_unflushed_tail_may_be_lost_but_prefix_survives(tmp_path):
+    """Without a flush, the OS buffer may hold the tail — after closing
+    abruptly via the raw fd the replay still recovers a consistent prefix."""
+    path = str(tmp_path / "unflushed.btlog")
+    store, blocks = _store_with_chain(path, n=30)
+    # Append more blocks but *only* flush the Python buffer, then reopen
+    # from the bytes on disk (a same-machine crash loses nothing that
+    # reached the page cache, so all 35 survive here; the point is the
+    # replay accepts whatever prefix is on disk).
+    parent = blocks[-1]
+    for i in range(5):
+        block = make_block(parent, label=f"u{i}")
+        store.put(block)
+        parent = block
+    store.flush()
+    store.close()
+    reopened = AppendOnlyLogStore(path)
+    assert len(reopened) >= 30
+    reopened.close()
