@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-all docs-test
+.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-campaign bench-all docs-test campaign
 
 ## Tier-1: the full unit/property/differential suite (fast, no benches).
 test:
@@ -31,6 +31,18 @@ bench-consistency:
 bench-storage:
 	$(PYTHON) -m pytest benchmarks/test_bench_storage.py -q \
 		--benchmark-disable
+
+## Campaign gates (28-cell grid ≥2× on 4 workers, serial-vs-parallel
+## identical matrices, default column == classify_all), emitting
+## BENCH_campaign.json.  Override the scale with BENCH_CAMPAIGN_DURATION.
+bench-campaign:
+	$(PYTHON) -m pytest benchmarks/test_bench_campaign.py -q \
+		--benchmark-disable
+
+## The full (protocol × adversarial scenario) classification matrix,
+## rendered to stdout (see `python -m repro.campaign --help`).
+campaign:
+	$(PYTHON) -m repro.campaign --workers 4
 
 ## Doctest every code example embedded in docs/*.md (fails on broken
 ## imports or drifted examples).

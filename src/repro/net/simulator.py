@@ -82,17 +82,29 @@ class Simulator:
         the *next* firing would land beyond ``until``.  Scenario metric
         sampling (fork-degree/height time series during adversarial
         runs) is built on this.
+
+        Tick ``n`` fires at ``start + n * interval`` (one rounding per
+        tick), *not* at the running sum of ``interval`` additions —
+        repeated ``now + interval`` re-arming accumulates float error,
+        drifting tick times and skipping (or duplicating) the boundary
+        tick at ``until``.  A tick landing exactly on ``until`` fires
+        exactly once.
         """
         if interval <= 0:
             raise ValueError("interval must be positive")
+        start = self.now
+        n = 0
 
         def tick() -> None:
+            nonlocal n
             callback()
-            if until is None or self.now + interval <= until:
-                self.schedule(interval, tick)
+            n += 1
+            next_time = start + (n + 1) * interval
+            if until is None or next_time <= until:
+                self.schedule_at(next_time, tick)
 
-        if until is None or self.now + interval <= until:
-            self.schedule(interval, tick)
+        if until is None or start + interval <= until:
+            self.schedule_at(start + interval, tick)
 
     def pending(self) -> int:
         """Number of queued events."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro._util import prf_uint64
 from repro.blocktree.block import Block, make_block
 from repro.consensus.ba_star import BAStarComponent
 from repro.crypto.vrf import VRFKey
@@ -34,7 +35,6 @@ class AlgorandNode(BlockchainNode):
 
     def __init__(self, name: str, scenario: ProtocolScenario) -> None:
         super().__init__(name, scenario)
-        index = int(name[1:])
         stakes = {
             n: scenario.merit_of(int(n[1:])) for n in scenario.node_names()
         }
@@ -45,7 +45,12 @@ class AlgorandNode(BlockchainNode):
             peers=list(scenario.node_names()),
             stakes=stakes,
             on_decide=self._on_commit,
-            vrf_key=VRFKey(seed=scenario.seed * 97 + index, owner=name),
+            # Per-replica VRF stream through the SHA-256 PRF: the old
+            # ``seed * 97 + index`` could collide across campaign cells.
+            vrf_key=VRFKey(
+                seed=prf_uint64("vrf", scenario.seed, scenario.name, name),
+                owner=name,
+            ),
             step_time=scenario.round_length / 5.0,
         )
 

@@ -13,9 +13,11 @@ history + trees + metrics.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
+from repro._util import prf_uint64
 from repro.blocktree.block import Block, make_block
 from repro.blocktree.chain import Chain
 from repro.blocktree.selection import LongestChain, SelectionFunction
@@ -61,8 +63,17 @@ class BlockchainNode(SimProcess):
         self.received_marks: set = set()  # blocks with a recorded receive
         self.rejected_blocks: set = set()  # blocks refused by P
         self.open_appends: Dict[str, Tuple[int, str]] = {}  # block_id → (op_id, name)
+        self.appends_begun = 0
+        self.appends_resolved = 0
+        #: resolve_append calls whose block_id had no open append — each
+        #: one is a double resolution or a never-begun append at the call
+        #: site (previously dropped silently, masking protocol bugs).
+        self.unknown_append_resolutions = 0
+        # Per-replica transaction stream: derived through the SHA-256 PRF
+        # so replicas of different scenarios/cells never share a stream
+        # (the old ``seed * 1000 + index`` collided across campaign cells).
         self.txgen = TransactionGenerator(
-            seed=scenario.seed * 1000 + int(name[1:]) if name[1:].isdigit() else scenario.seed
+            seed=prf_uint64("txgen", scenario.seed, scenario.name, name)
         )
 
     # -- reads ------------------------------------------------------------------
@@ -103,13 +114,23 @@ class BlockchainNode(SimProcess):
             self.name, "append", (block.block_id, block.parent_id), time=self.now
         )
         self.open_appends[block.block_id] = (op_id, self.name)
+        self.appends_begun += 1
 
     def resolve_append(self, block_id: str, ok: bool) -> None:
-        """Record the response of a previously begun append."""
+        """Record the response of a previously begun append.
+
+        An unknown ``block_id`` (double resolution, or a resolve for an
+        append that was never begun) is counted in
+        :attr:`unknown_append_resolutions` instead of being silently
+        dropped — ``ProtocolRun.append_stats`` surfaces the counter and
+        the campaign/regression tests assert it stays zero.
+        """
         entry = self.open_appends.pop(block_id, None)
         if entry is None:
+            self.unknown_append_resolutions += 1
             return
         op_id, _ = entry
+        self.appends_resolved += 1
         self.network.recorder.end(self.name, op_id, "append", ok, time=self.now)
 
     # -- block dissemination ---------------------------------------------------------
@@ -238,10 +259,18 @@ class ProtocolRun:
     #: ``(time, max_fork_degree, max_height)`` time series, sampled every
     #: ``scenario.metrics_interval`` when the scenario requests it.
     samples: List[Tuple[float, int, int]] = field(default_factory=list)
+    #: Wall-clock seconds spent inside ``Simulator.run`` (run metadata
+    #: for the campaign engine's events/sec throughput column).
+    wall_clock_s: float = 0.0
 
     @property
     def node_names(self) -> List[str]:
         return [n.name for n in self.nodes]
+
+    @property
+    def events_executed(self) -> int:
+        """Simulator events executed during the run."""
+        return self.simulator.events_executed
 
     def final_chains(self) -> Dict[str, Chain]:
         """Each node's adopted chain at the end of the run."""
@@ -254,6 +283,21 @@ class ProtocolRun:
     def storage_stats(self) -> Dict[str, Dict[str, int]]:
         """Per-node block-store lifecycle counters (``BlockTree.stats``)."""
         return {n.name: n.tree.stats() for n in self.nodes}
+
+    def append_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-node append bookkeeping (begun/resolved/unknown-resolution)."""
+        return {
+            n.name: {
+                "begun": n.appends_begun,
+                "resolved": n.appends_resolved,
+                "unknown_resolutions": n.unknown_append_resolutions,
+            }
+            for n in self.nodes
+        }
+
+    def unknown_append_resolutions(self) -> int:
+        """Total resolve-without-begin events across all replicas."""
+        return sum(n.unknown_append_resolutions for n in self.nodes)
 
     def parent_map(self) -> Dict[str, str]:
         """block_id → parent_id over all blocks on all replicas."""
@@ -308,7 +352,9 @@ class ProtocolRun:
                 until=scenario.duration,
             )
         net.start()
+        wall_start = _time.perf_counter()
         sim.run(until=scenario.duration + settle)
+        wall_clock_s = _time.perf_counter() - wall_start
         for node in nodes:
             node.read()  # final read: the limit chain
         for node in nodes:
@@ -326,4 +372,5 @@ class ProtocolRun:
             simulator=sim,
             faults=faults,
             samples=samples,
+            wall_clock_s=wall_clock_s,
         )

@@ -10,19 +10,41 @@ from *measurements*, not from the declared tags:
   history (purged of unsuccessful appends) with the run's continuation;
 * the **match** column compares the measured classification with the
   paper's Table 1 expectation carried by the node class.
+
+Every measurement is derived from **all** replicas, never from replica 0
+alone: under a partition scenario node 0 may be the isolated minority,
+so ``blocks_committed`` comes from the *majority view* (the final chain
+the largest group of replicas agrees on) and the declared oracle tags
+are asserted to agree across the whole membership.
+
+:func:`classify_protocol` is a thin wrapper over the campaign engine's
+single-cell runner (:func:`repro.campaign.run_single_cell`) — the same
+code path the (protocol × scenario × seed) grid executes in parallel —
+so a campaign matrix's default-scenario column reproduces these rows
+byte-for-byte.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
+
+from repro.blocktree.chain import Chain
 
 from repro.blocktree.score import LengthScore, WorkScore
 from repro.consistency.criteria import BTEventualConsistency, BTStrongConsistency
 from repro.protocols.base import ProtocolRun
 from repro.workloads.scenarios import ProtocolScenario, default_scenarios
 
-__all__ = ["ClassificationRow", "classify_protocol", "classify_all", "RUNNERS"]
+__all__ = [
+    "ClassificationRow",
+    "classify_run",
+    "majority_view",
+    "classify_protocol",
+    "classify_all",
+    "RUNNERS",
+]
 
 
 def _runners() -> Dict[str, Callable[..., ProtocolRun]]:
@@ -73,14 +95,41 @@ class ClassificationRow:
         )
 
 
-def classify_protocol(
-    name: str, scenario: Optional[ProtocolScenario] = None
-) -> ClassificationRow:
-    """Run protocol ``name`` and derive its Table 1 row from measurements."""
-    runner = RUNNERS[name]
-    scenario = scenario or default_scenarios()[name]
-    run = runner(scenario)
-    node = run.nodes[0]
+def majority_view(chains: Dict[str, Chain]) -> Chain:
+    """The final chain the largest group of replicas agrees on.
+
+    Replicas vote by final tip; ties break toward the taller chain and
+    then the lexicographically smallest tip id, so the selection is
+    deterministic.  Under a partition the isolated minority (which may
+    well contain replica 0) is outvoted instead of speaking for the run.
+    """
+    if not chains:
+        raise ValueError("majority_view needs at least one chain")
+    votes = Counter(chain.tip_id for chain in chains.values())
+    by_tip = {chain.tip_id: chain for chain in chains.values()}
+    best_tip = min(
+        votes, key=lambda tip: (-votes[tip], -by_tip[tip].height, tip)
+    )
+    return by_tip[best_tip]
+
+
+def classify_run(name: str, run: ProtocolRun) -> ClassificationRow:
+    """Derive a Table 1 row from a finished run, using *all* replicas.
+
+    ``run.nodes[0]`` has no privileged role: the declared oracle tags
+    must agree across the membership (a mixed fleet is a configuration
+    error, not a measurable system) and ``blocks_committed`` is the
+    height of the :func:`majority_view` chain.
+    """
+    kinds = {node.oracle_kind for node in run.nodes}
+    expectations = {node.expected_refinement for node in run.nodes}
+    if len(kinds) != 1 or len(expectations) != 1:
+        raise ValueError(
+            f"{name}: replicas disagree on declared classification "
+            f"(oracles {sorted(kinds)}, expectations {sorted(expectations)})"
+        )
+    oracle_declared = kinds.pop()
+    expected = expectations.pop()
     score = LengthScore()
     history = run.history.purged()
     sc_report = BTStrongConsistency(score=score).check(history)
@@ -93,13 +142,13 @@ def classify_protocol(
         measured = "R(BT-ADT_EC, Θ_P)"
     else:
         measured = "inconsistent"
-    expected_core = node.expected_refinement.replace(" w.h.p.", "")
+    expected_core = expected.replace(" w.h.p.", "")
     matches = measured == expected_core
-    chain = run.final_chains()[node.name]
+    chain = majority_view(run.final_chains())
     return ClassificationRow(
         protocol=name,
-        oracle_declared=node.oracle_kind,
-        expected_refinement=node.expected_refinement,
+        oracle_declared=oracle_declared,
+        expected_refinement=expected,
         max_fork_degree=fork_degree,
         sc_ok=sc_report.ok,
         ec_ok=ec_report.ok,
@@ -108,6 +157,20 @@ def classify_protocol(
         matches_paper=matches,
         blocks_committed=chain.height,
     )
+
+
+def classify_protocol(
+    name: str, scenario: Optional[ProtocolScenario] = None
+) -> ClassificationRow:
+    """Run protocol ``name`` and derive its Table 1 row from measurements.
+
+    Thin single-cell wrapper over the campaign engine: one (protocol ×
+    scenario) cell executed in-process, returning only the row.
+    """
+    from repro.campaign import run_single_cell
+
+    scenario = scenario or default_scenarios()[name]
+    return run_single_cell(name, scenario).row
 
 
 def classify_all(

@@ -34,12 +34,14 @@ from collections import deque
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
+from repro._util import prf_uint64
 from repro.blocktree.block import GENESIS, Block, make_block
 from repro.blocktree.tree import BlockTree, PrunePolicy
 from repro.storage import STORE_KINDS, BlockStore, open_store
 
 __all__ = [
     "GOSSIP_TAG",
+    "derive_seed",
     "ProtocolScenario",
     "PartitionWindow",
     "ChurnEvent",
@@ -56,6 +58,19 @@ __all__ = [
 #: Defined here so fault matchers can recognize gossip without importing
 #: the protocol layer (which imports this module).
 GOSSIP_TAG = "block-gossip"
+
+
+def derive_seed(seed: int, *context: Union[str, int]) -> int:
+    """A seed stream derived from ``seed`` and a context tuple via SHA-256.
+
+    Campaign cells (and per-replica components) must never share an RNG
+    stream just because they were configured with the same literal seed:
+    ``derive_seed(seed, protocol, scenario, cell_index)`` gives every
+    (protocol × scenario × cell) coordinate its own independent stream
+    while staying bit-for-bit replayable.  The result is folded into 63
+    bits so it round-trips through JSON readers that lack uint64.
+    """
+    return prf_uint64("seed-stream", seed, *context) >> 1
 
 
 @dataclass(frozen=True)
@@ -144,6 +159,18 @@ class ProtocolScenario:
     def block_interval_at(self, now: float) -> float:
         """Mean block interval in effect at simulated time ``now``."""
         return self.mean_block_interval
+
+    def for_cell(self, protocol: str, cell_index: int) -> "ProtocolScenario":
+        """This scenario re-seeded for one campaign cell.
+
+        The cell's seed is ``derive_seed(seed, protocol, name, index)``,
+        so two cells differing in any coordinate — including only the
+        index — draw disjoint RNG streams, while re-expanding the same
+        grid replays every cell identically.
+        """
+        return replace(
+            self, seed=derive_seed(self.seed, protocol, self.name, cell_index)
+        )
 
     def build_channel(self) -> Tuple[Any, Dict[str, Any]]:
         """The channel stack for this scenario plus fault handles.
@@ -435,6 +462,11 @@ class TreeScenario:
     def at_scale(self, n_blocks: int) -> "TreeScenario":
         """The same workload shape at a different block count."""
         return replace(self, n_blocks=n_blocks, name=f"{self.name}@{n_blocks}")
+
+    def for_cell(self, cell_index: int) -> "TreeScenario":
+        """The same workload re-seeded for one campaign cell (see
+        :meth:`ProtocolScenario.for_cell`)."""
+        return replace(self, seed=derive_seed(self.seed, "tree", self.name, cell_index))
 
     def _weight(self, rng: random.Random) -> float:
         if self.weight_profile == "unit":

@@ -11,6 +11,7 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 FAST_EXAMPLES = [
     "quickstart.py",
     "model_checking_tour.py",
+    "campaign_matrix.py",
 ]
 
 
@@ -34,6 +35,7 @@ def test_all_examples_present():
         "classify_protocols.py",
         "update_agreement_demo.py",
         "model_checking_tour.py",
+        "campaign_matrix.py",
     }
     present = {p.name for p in EXAMPLES.glob("*.py")}
     assert expected <= present

@@ -78,6 +78,75 @@ class TestSimulator:
         assert sim.pending() == 1
 
 
+class TestSimulatorRunEdges:
+    """Clock-advance edge cases of ``run(until=..., max_events=...)``."""
+
+    def test_drained_queue_advances_clock_to_until(self):
+        sim = Simulator()
+        assert sim.run(until=5.0) == 0
+        assert sim.now == 5.0
+
+    def test_drained_after_events_advances_clock_to_until(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run(until=5.0) == 1
+        assert sim.now == 5.0
+
+    def test_max_events_exhaustion_freezes_clock_at_last_event(self):
+        sim = Simulator()
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda: None)
+        assert sim.run(until=10.0, max_events=2) == 2
+        # The clock must NOT jump to ``until``: event 3 is still pending.
+        assert sim.now == 2.0
+        assert sim.pending() == 1
+
+    def test_boundary_event_exactly_at_until_runs_once(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append(sim.now))
+        sim.run(until=5.0)
+        assert log == [5.0] and sim.now == 5.0
+        sim.run(until=9.0)  # nothing left: the boundary event never re-runs
+        assert log == [5.0] and sim.now == 9.0
+
+    def test_max_events_and_drain_coincide(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        # Queue drains on the same iteration the budget runs out: the
+        # drained-queue rule wins and the clock advances to ``until``.
+        assert sim.run(until=4.0, max_events=1) == 1
+        assert sim.now == 4.0
+
+
+class TestEveryDrift:
+    def test_10k_ticks_of_0_1_land_exactly(self):
+        # 0.1 is inexact in binary: the old ``now + interval`` re-arm
+        # accumulated ~1.6e-10 of drift over 10k ticks and skipped the
+        # boundary tick at 1000.0.  Tick n must land at fl(n * 0.1).
+        sim = Simulator()
+        times = []
+        sim.every(0.1, lambda: times.append(sim.now), until=1000.0)
+        sim.run()
+        assert len(times) == 10_000
+        assert all(t == (k + 1) * 0.1 for k, t in enumerate(times))
+        assert times[-1] == 1000.0
+
+    def test_boundary_tick_at_until_fires_exactly_once(self):
+        sim = Simulator()
+        times = []
+        sim.every(0.25, lambda: times.append(sim.now), until=1.0)
+        sim.run(until=50.0)
+        assert times == [0.25, 0.5, 0.75, 1.0]
+
+    def test_every_rearms_relative_to_start_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: sim.every(0.5, lambda: times.append(sim.now), until=4.0))
+        sim.run()
+        assert times == [2.5, 3.0, 3.5, 4.0]
+
+
 class TestChannels:
     def test_synchronous_bounded(self):
         sim = Simulator(seed=1)
