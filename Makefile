@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-campaign bench-all docs-test campaign
+.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-campaign bench-mempool bench-check bench-all docs-test campaign
 
 ## Tier-1: the full unit/property/differential suite (fast, no benches).
 test:
@@ -38,6 +38,19 @@ bench-storage:
 bench-campaign:
 	$(PYTHON) -m pytest benchmarks/test_bench_campaign.py -q \
 		--benchmark-disable
+
+## Mempool gates (batched ingest ≥10× vs per-tx validation at 100k tx,
+## end-to-end committed tx/sec on two protocols, serial-vs-parallel
+## identical mempool_stats), emitting BENCH_mempool.json.  Override the
+## scale with BENCH_MEMPOOL_SCALE.
+bench-mempool:
+	$(PYTHON) -m pytest benchmarks/test_bench_mempool.py -q \
+		--benchmark-disable
+
+## Validate every committed BENCH_*.json against the registered schemas
+## (the same check CI's bench-trajectory job runs on fresh artifacts).
+bench-check:
+	$(PYTHON) -m repro.analysis.bench_schema --require-all
 
 ## The full (protocol × adversarial scenario) classification matrix,
 ## rendered to stdout (see `python -m repro.campaign --help`).

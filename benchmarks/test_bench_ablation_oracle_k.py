@@ -11,7 +11,6 @@ Theorem 4.8 / Corollary 4.8.1 in sweep form.
 import math
 
 from repro.analysis import render_table
-from repro.blocktree import LengthScore
 from repro.consistency import random_refinement_history
 from repro.consistency.properties import check_k_fork_coherence, check_strong_prefix
 
@@ -21,9 +20,7 @@ def sweep(samples=6):
     for k in (1, 2, 3, 5, math.inf):
         widths, sp_failures, coherence_ok = [], 0, True
         for seed in range(samples):
-            run = random_refinement_history(
-                k=k, seed=1000 + seed, n_ops=40, n_procs=4
-            )
+            run = random_refinement_history(k=k, seed=1000 + seed, n_ops=40, n_procs=4)
             widths.append(run.refined.tree.max_fork_degree())
             history = run.history.purged()
             if not check_strong_prefix(history, history.continuation).ok:

@@ -29,7 +29,6 @@ import tracemalloc
 
 from repro.blocktree import (
     BlockTree,
-    Chain,
     GENESIS,
     LengthScore,
     make_block,
@@ -106,11 +105,7 @@ def _subsample(history, m):
     keep_ops = {r.op_id for r in reads[::step]}
     keep_ops.update(r.op_id for r in reads[-n_procs:])
     read_ops = {r.op_id for r in reads}
-    kept = [
-        e
-        for e in history.events
-        if e.op_id not in read_ops or e.op_id in keep_ops
-    ]
+    kept = [e for e in history.events if e.op_id not in read_ops or e.op_id in keep_ops]
     return ConcurrentHistory(events=kept, continuation=history.continuation)
 
 

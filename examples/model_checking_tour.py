@@ -15,14 +15,7 @@ shared-memory constructions:
 Run:  python examples/model_checking_tour.py
 """
 
-from repro.concurrent import (
-    AtomicSnapshotObject,
-    CASFromConsumeToken,
-    ConsumeTokenObject,
-    SnapshotConsumeToken,
-    System,
-    explore,
-)
+from repro.concurrent import AtomicSnapshotObject, SnapshotConsumeToken, System, explore
 from repro.concurrent.protocol_a import build_protocol_a_system
 from repro.concurrent.register_consensus import build_register_consensus_system
 

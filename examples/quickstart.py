@@ -95,8 +95,8 @@ def demo_consistency_checking() -> None:
 
 def demo_store_backends() -> None:
     print("\n== 4. Block stores + the checkpoint/prune lifecycle ==")
-    from repro.blocktree import BlockTree, LongestChain, PrunePolicy
-    from repro.storage import AppendOnlyLogStore, open_store
+    from repro.blocktree import LongestChain, PrunePolicy
+    from repro.storage import open_store
     from repro.workloads.scenarios import TreeScenario
 
     scenario = TreeScenario(name="quickstart", n_blocks=20_000, fork_rate=0.04)

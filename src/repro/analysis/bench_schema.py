@@ -1,0 +1,141 @@
+"""Schema registry + validator for the ``BENCH_*.json`` trajectory files.
+
+Every measured bench suite emits one JSON artifact at the repo root
+(see ``docs/benchmarks.md``).  This module is the single source of
+truth for what each artifact must contain: the docs doctest it, the
+benches emit against it, and CI's final ``bench-trajectory`` job
+downloads every artifact and fails the build when one is missing or
+schema-invalid.
+
+A schema here is deliberately shallow — required keys and container
+types, not full JSON-Schema — so adding a measurement to a bench never
+needs a lockstep schema change, while a hollow or truncated artifact
+(the failure mode that matters: a gate silently not running) is caught.
+
+Command line::
+
+    python -m repro.analysis.bench_schema BENCH_campaign.json
+    python -m repro.analysis.bench_schema --require-all --dir artifacts/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Mapping, Tuple
+
+__all__ = ["SCHEMAS", "validate_payload", "validate_file", "main"]
+
+#: artifact name → {required key: expected container type}.  ``dict`` /
+#: ``list`` assert structure; ``object`` only asserts presence.
+SCHEMAS: Dict[str, Dict[str, type]] = {
+    "BENCH_consistency.json": {
+        "bench": object,
+        "batch": list,
+        "prefix_50k": dict,
+        "memory": dict,
+    },
+    "BENCH_storage.json": {
+        "bench": object,
+        "append": list,
+        "cold_read": list,
+        "recovery": dict,
+        "bounded_hot_set": dict,
+    },
+    "BENCH_campaign.json": {
+        "bench": object,
+        "speedup": dict,
+        "matrix": dict,
+        "table1": dict,
+    },
+    "BENCH_mempool.json": {
+        "bench": object,
+        "ingest": dict,
+        "end_to_end": list,
+        "campaign_determinism": dict,
+    },
+}
+
+
+def validate_payload(name: str, payload: Any) -> List[str]:
+    """Schema errors for one parsed artifact (empty list = valid)."""
+    schema = SCHEMAS.get(name)
+    if schema is None:
+        return [f"{name}: no schema registered (known: {sorted(SCHEMAS)})"]
+    if not isinstance(payload, Mapping):
+        return [f"{name}: top level must be a JSON object"]
+    errors: List[str] = []
+    for key, expected in schema.items():
+        if key not in payload:
+            errors.append(f"{name}: missing required key {key!r}")
+        elif expected is not object and not isinstance(payload[key], expected):
+            errors.append(
+                f"{name}: key {key!r} must be a {expected.__name__}, "
+                f"got {type(payload[key]).__name__}"
+            )
+    return errors
+
+
+def validate_file(path: str) -> List[str]:
+    """Schema errors for one artifact on disk (empty list = valid)."""
+    name = os.path.basename(path)
+    if not os.path.exists(path):
+        return [f"{name}: file not found at {path}"]
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{name}: unreadable JSON ({exc})"]
+    return validate_payload(name, payload)
+
+
+def _gather(args: argparse.Namespace) -> List[Tuple[str, str]]:
+    """(name, path) pairs to validate, honouring ``--require-all``."""
+    if args.paths:
+        return [(os.path.basename(p), p) for p in args.paths]
+    if args.require_all:
+        names = sorted(SCHEMAS)
+    else:
+        names = [
+            name
+            for name in sorted(SCHEMAS)
+            if os.path.exists(os.path.join(args.dir, name))
+        ]
+    return [(name, os.path.join(args.dir, name)) for name in names]
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.bench_schema",
+        description="Validate BENCH_*.json trajectory artifacts.",
+    )
+    parser.add_argument("paths", nargs="*", help="artifact files to validate")
+    parser.add_argument(
+        "--dir", default=".", help="directory holding the artifacts (default: .)"
+    )
+    parser.add_argument(
+        "--require-all",
+        action="store_true",
+        help="fail when any artifact with a registered schema is absent",
+    )
+    args = parser.parse_args(argv)
+    targets = _gather(args)
+    if not targets:
+        print("bench-schema: no artifacts found and none required")
+        return 0
+    failed = False
+    for name, path in targets:
+        errors = validate_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"FAIL  {error}")
+        else:
+            print(f"ok    {name}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.blocktree.chain import Chain
 from repro.protocols.base import ProtocolRun
 
 __all__ = [
@@ -56,11 +55,7 @@ def convergence_lags(run: ProtocolRun) -> List[float]:
         last[block_id] = max(last.get(block_id, t), t)
         counts[block_id] = counts.get(block_id, 0) + 1
     n = len(run.nodes)
-    return [
-        last[b] - first[b]
-        for b, c in sorted(counts.items())
-        if c >= n
-    ]
+    return [last[b] - first[b] for b, c in sorted(counts.items()) if c >= n]
 
 
 def divergence_depth(run: ProtocolRun) -> int:

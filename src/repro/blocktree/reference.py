@@ -49,9 +49,7 @@ def tuple_is_prefix_of(chain: Chain, other: Chain) -> bool:
     """The original ``⊑``: block-by-block id comparison over tuples."""
     if len(chain) > len(other):
         return False
-    return all(
-        a.block_id == b.block_id for a, b in zip(chain.blocks, other.blocks)
-    )
+    return all(a.block_id == b.block_id for a, b in zip(chain.blocks, other.blocks))
 
 
 def tuple_comparable(chain: Chain, other: Chain) -> bool:
@@ -110,9 +108,7 @@ def rescan_ghost(tree: BlockTree, tiebreak: Tiebreak = lexicographic_max) -> Cha
         if not children:
             return rescan_chain_to(tree, cursor.block_id)
         best_weight = max(tree.subtree_weight(c.block_id) for c in children)
-        best = [
-            c for c in children if tree.subtree_weight(c.block_id) == best_weight
-        ]
+        best = [c for c in children if tree.subtree_weight(c.block_id) == best_weight]
         cursor = tiebreak(best)
 
 

@@ -90,9 +90,7 @@ class HeaviestChain(SelectionFunction):
             return tree.chain_to(tree.best_leaf_by_weight().block_id)
         leaves = tree.leaves()
         best_weight = max(tree.chain_weight(b.block_id) for b in leaves)
-        best = [
-            b for b in leaves if tree.chain_weight(b.block_id) == best_weight
-        ]
+        best = [b for b in leaves if tree.chain_weight(b.block_id) == best_weight]
         return tree.chain_to(self.tiebreak(best).block_id)
 
 

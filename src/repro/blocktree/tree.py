@@ -856,9 +856,7 @@ class BlockTree:
         Derived from the jump table (``row[0]`` is the parent), so it
         never faults evicted blocks.
         """
-        return tuple(
-            sorted((bid, row[0]) for bid, row in self._anc.items() if row)
-        )
+        return tuple(sorted((bid, row[0]) for bid, row in self._anc.items() if row))
 
     def describe(self, block_id: str | None = None, indent: int = 0) -> str:
         """ASCII rendering of the tree (children indented under parents)."""

@@ -52,6 +52,7 @@ def run_cell(cell: CampaignCell) -> CellResult:
         events=run.events_executed,
         unknown_append_resolutions=run.unknown_append_resolutions(),
         wall_clock_s=run.wall_clock_s,
+        mempool=run.mempool_stats() or None,
     )
 
 
@@ -67,9 +68,7 @@ def run_single_cell(protocol: str, scenario) -> CellResult:
     )
 
 
-def run_campaign(
-    grid: CampaignGrid, workers: Optional[int] = None
-) -> CampaignMatrix:
+def run_campaign(grid: CampaignGrid, workers: Optional[int] = None) -> CampaignMatrix:
     """Expand ``grid`` and execute every cell; fold into a matrix.
 
     ``workers=None`` or ``<= 1`` runs serially in-process; otherwise the

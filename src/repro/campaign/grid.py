@@ -46,7 +46,9 @@ PROTOCOLS: Tuple[str, ...] = (
 )
 
 #: ``"default"`` (the per-protocol Table 1 parameter set) plus the
-#: adversarial preset axes of ``adversarial_scenarios``.
+#: adversarial preset axes of ``adversarial_scenarios`` — including the
+#: transaction-pipeline presets (``client-steady``/``spam-flood``) whose
+#: cells run the mempool/gossip/packer path and report ``mempool_stats``.
 SCENARIO_PRESETS: Tuple[str, ...] = (
     "default",
     "partition-heal",
@@ -54,6 +56,8 @@ SCENARIO_PRESETS: Tuple[str, ...] = (
     "selfish-miner",
     "skewed-merit",
     "burst-traffic",
+    "client-steady",
+    "spam-flood",
 )
 
 

@@ -61,6 +61,11 @@ class CellResult:
     events: int
     unknown_append_resolutions: int
     wall_clock_s: float
+    #: Transaction-pipeline measurements (``ProtocolRun.mempool_stats``)
+    #: for cells driven by a ``ClientTrafficScenario``; None otherwise.
+    #: Fully deterministic (simulated time only), so it participates in
+    #: the serial-vs-parallel identity the campaign/mempool benches gate.
+    mempool: Optional[Dict[str, Any]] = None
 
     @property
     def cell_id(self) -> str:
@@ -83,10 +88,12 @@ class CellResult:
             "samples": [list(s) for s in self.samples],
             "events": self.events,
             "unknown_append_resolutions": self.unknown_append_resolutions,
+            "mempool": self.mempool,
         }
 
     def flat_dict(self) -> Dict[str, Any]:
         """One flat CSV row (timing included)."""
+        committed = (self.mempool or {}).get("committed", {})
         flat = {
             "protocol": self.protocol,
             "scenario": self.scenario,
@@ -95,6 +102,8 @@ class CellResult:
             **asdict(self.row),
             "events": self.events,
             "unknown_append_resolutions": self.unknown_append_resolutions,
+            "committed_txs": committed.get("txs", 0),
+            "committed_tx_per_s": round(committed.get("tx_per_s", 0.0), 4),
             "wall_clock_s": round(self.wall_clock_s, 4),
             "events_per_s": round(self.events_per_s),
         }

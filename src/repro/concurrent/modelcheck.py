@@ -20,7 +20,7 @@ enumerate (see DESIGN.md, substitution table).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, List, Optional, Set, Tuple
 
 from repro.concurrent.scheduler import RunResult, System
 

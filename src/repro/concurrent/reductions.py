@@ -15,10 +15,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Tuple
 
-from repro.concurrent.objects import AtomicSnapshotObject, ConsumeTokenObject
+from repro.concurrent.objects import ConsumeTokenObject
 from repro.concurrent.scheduler import Decide, Done, Invoke, Program
 
 __all__ = [

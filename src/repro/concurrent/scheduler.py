@@ -24,7 +24,7 @@ explorer enforces with a per-process step bound.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.concurrent.objects import SharedObject
@@ -135,9 +135,7 @@ class System:
 
     def live_procs(self) -> List[str]:
         """Processes that can still be stepped."""
-        return [
-            n for n, p in self.procs.items() if not p.done and not p.crashed
-        ]
+        return [n for n, p in self.procs.items() if not p.done and not p.crashed]
 
     def crash(self, name: str) -> None:
         """Crash-stop ``name``: it takes no further steps."""

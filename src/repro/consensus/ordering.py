@@ -21,8 +21,7 @@ behaviour with Strong Prefix).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Set, Tuple
 
 from repro.net.process import SimProcess
 

@@ -23,7 +23,6 @@ committed block per round: Θ_F,k=1 behaviour).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Set, Tuple
 
 from repro.consensus.pbft import PBFTComponent

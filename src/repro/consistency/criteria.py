@@ -14,7 +14,7 @@ empirically on sampled histories.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
 from repro.blocktree.score import ScoreFunction

@@ -29,7 +29,7 @@ ways.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.blocktree.chain import Chain

@@ -18,11 +18,9 @@ plus a priority value, which preserves the selection *distribution shape*
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Any, Tuple
 
-from repro._util import prf_unit
 from repro.crypto.hashing import hash_hex
 
 __all__ = ["VRFKey", "VRFOutput", "sortition_weight"]

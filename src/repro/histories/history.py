@@ -10,7 +10,7 @@ consume: reads with their returned chains, appends, and the replica events
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from repro.blocktree.chain import Chain
 from repro.histories.continuation import ContinuationModel

@@ -1,0 +1,131 @@
+"""Incremental UTXO view of one replica's best chain.
+
+:class:`~repro.workloads.transactions.ChainValidator` answers "is this
+payload valid after this prefix?" by scanning the whole prefix — the
+right oracle, but O(chain) per question.  A mempool asks that question
+on every ingest batch and every pack, against a tip that moves with
+fork choice, so :class:`UTXOView` keeps the spent/minted sets *live*:
+syncing to a new best chain applies only the blocks above the old/new
+LCA (and un-applies the abandoned suffix on a reorg), which is O(reorg
+depth), not O(chain).
+
+The view is differentially tested against ``ChainValidator`` — after
+any sequence of syncs, the sets must equal a from-scratch scan of the
+current chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.blocktree.block import Block
+from repro.blocktree.chain import Chain
+from repro.workloads.transactions import Transaction, default_genesis_coins
+
+__all__ = ["UTXOView"]
+
+
+class UTXOView:
+    """Spent/minted coin sets tracking a moving best chain.
+
+    ``genesis_coins`` seeds the spendable universe.  :meth:`sync`
+    advances (or rewinds) the view to a new chain and reports the
+    blocks that were applied and un-applied — the mempool uses the
+    applied payloads to reap committed transactions and the un-applied
+    payloads to return reorged transactions to the pool.
+    """
+
+    def __init__(self, genesis_coins: Iterable[str] = ()) -> None:
+        self.genesis_coins: Set[str] = set(genesis_coins) or set(
+            default_genesis_coins()
+        )
+        self.spent: Set[str] = set()
+        self.minted: Set[str] = set()
+        #: tx_id → height for every transaction on the current chain
+        #: (duplicate filtering + reap bookkeeping).
+        self.committed: Dict[str, int] = {}
+        self._chain: Optional[Chain] = None
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def tip_id(self) -> Optional[str]:
+        """The tip of the chain the view currently reflects."""
+        return self._chain.tip_id if self._chain is not None else None
+
+    def spendable(self, coin: str) -> bool:
+        """Whether ``coin`` exists on the chain and is unspent."""
+        return (
+            coin in self.minted or coin in self.genesis_coins
+        ) and coin not in self.spent
+
+    def payload_valid(self, payload: Iterable[Transaction]) -> bool:
+        """Whether ``payload`` extends the current chain without a
+        double spend (same answer as
+        ``ChainValidator.block_valid_in_context`` on a valid chain)."""
+        spent: Set[str] = set()
+        minted: Set[str] = set()
+        for tx in payload:
+            for coin in tx.inputs:
+                known = (
+                    coin in self.minted
+                    or coin in self.genesis_coins
+                    or coin in minted
+                )
+                if not known or coin in self.spent or coin in spent:
+                    return False
+            spent.update(tx.inputs)
+            for coin in tx.outputs:
+                if coin in self.minted or coin in minted:
+                    return False
+                minted.add(coin)
+        return True
+
+    # -- sync ----------------------------------------------------------------
+
+    def _apply(self, block: Block, height: int) -> None:
+        for tx in block.payload:
+            self.spent.update(tx.inputs)
+            self.minted.update(tx.outputs)
+            self.committed[tx.tx_id] = height
+
+    def _unapply(self, block: Block) -> None:
+        for tx in block.payload:
+            for coin in tx.inputs:
+                self.spent.discard(coin)
+            for coin in tx.outputs:
+                self.minted.discard(coin)
+            self.committed.pop(tx.tx_id, None)
+
+    def sync(self, chain: Chain) -> Tuple[Tuple[Block, ...], Tuple[Block, ...]]:
+        """Move the view to ``chain``; return ``(applied, unapplied)``.
+
+        ``applied`` are the new chain's blocks above the LCA in
+        parent-first order; ``unapplied`` are the abandoned blocks in
+        tip-first order (empty on a pure extension).  A same-tip sync
+        is O(1).
+        """
+        if self._chain is not None and self._chain.tip_id == chain.tip_id:
+            return (), ()
+        unapplied: List[Block] = []
+        if self._chain is not None:
+            lca_height = self._chain.common_prefix(chain).height
+            for block in self._chain.iter_tipward():
+                if self._chain.height - len(unapplied) <= lca_height:
+                    break
+                self._unapply(block)
+                unapplied.append(block)
+            base_height = lca_height
+        else:
+            base_height = 0
+        applied: List[Block] = []
+        new_suffix: List[Block] = []
+        for block in chain.iter_tipward():
+            if chain.height - len(new_suffix) <= base_height:
+                break
+            new_suffix.append(block)
+        for offset, block in enumerate(reversed(new_suffix)):
+            self._apply(block, base_height + offset + 1)
+            applied.append(block)
+        self._chain = chain
+        return tuple(applied), tuple(unapplied)

@@ -97,9 +97,7 @@ def check_update_agreement(
     sends = _replica_events(history, "send")
     receives = _replica_events(history, "receive")
     if correct_procs is None:
-        correct = sorted(
-            {op.proc for op in updates + sends + receives}
-        )
+        correct = sorted({op.proc for op in updates + sends + receives})
     else:
         correct = sorted(correct_procs)
 

@@ -17,8 +17,8 @@ Prefix") are a wrapper away from any base synchrony.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Union
+from dataclasses import dataclass
+from typing import Any, Callable, Union
 
 __all__ = [
     "DROP",

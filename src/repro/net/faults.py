@@ -15,7 +15,7 @@ Both plug into :class:`~repro.net.channels.LossyChannel` as its
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, FrozenSet, Optional, Tuple
 
 __all__ = [

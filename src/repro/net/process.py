@@ -15,7 +15,7 @@ operations and the §4.2 replica events.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.histories.builder import HistoryRecorder
 from repro.net.channels import DROP, ChannelModel, SynchronousChannel
@@ -76,9 +76,7 @@ class SimProcess:
 
     def record_instant(self, op_name: str, args: tuple, result: Any = None) -> None:
         """Record an instantaneous replica event (send/receive/update)."""
-        self.network.recorder.instant(
-            self.name, op_name, args, result, time=self.now
-        )
+        self.network.recorder.instant(self.name, op_name, args, result, time=self.now)
 
 
 class Network:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 __all__ = ["Simulator"]
 

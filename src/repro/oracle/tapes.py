@@ -66,9 +66,7 @@ class MeritTape:
         for index in range(self.position, self.position + limit):
             if self.cell(index):
                 return index
-        raise RuntimeError(
-            f"no token within {limit} cells for merit {self.merit_id!r}"
-        )
+        raise RuntimeError(f"no token within {limit} cells for merit {self.merit_id!r}")
 
     def copy(self) -> "MeritTape":
         """Independent reader at the same position over the same tape."""

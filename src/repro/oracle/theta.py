@@ -23,7 +23,7 @@ re-verifies the invariant from the recorded statistics.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Tuple
 
 from repro._util import sha256_hex

@@ -35,9 +35,7 @@ class AlgorandNode(BlockchainNode):
 
     def __init__(self, name: str, scenario: ProtocolScenario) -> None:
         super().__init__(name, scenario)
-        stakes = {
-            n: scenario.merit_of(int(n[1:])) for n in scenario.node_names()
-        }
+        stakes = {n: scenario.merit_of(int(n[1:])) for n in scenario.node_names()}
         self.round = 0
         self.own_proposals: dict = {}
         self.ba = BAStarComponent(
@@ -93,7 +91,7 @@ class AlgorandNode(BlockchainNode):
             self.resolve_append(own, own == block.block_id)
 
     def on_message(self, src: str, message: Any) -> None:
-        if self.on_block_gossip(src, message):
+        if self.on_gossip(src, message):
             return
         self.ba.on_message(src, message)
 

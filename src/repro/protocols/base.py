@@ -18,21 +18,24 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro._util import prf_uint64
-from repro.blocktree.block import Block, make_block
+from repro.blocktree.block import Block
 from repro.blocktree.chain import Chain
 from repro.blocktree.selection import LongestChain, SelectionFunction
 from repro.blocktree.tree import BlockTree
 from repro.histories.continuation import ContinuationModel
 from repro.histories.history import ConcurrentHistory
+from repro.mempool import TX_GOSSIP_TAG, BlockPacker, Mempool
 from repro.net.channels import ChannelModel
 from repro.net.process import Network, SimProcess
 from repro.net.simulator import Simulator
 from repro.workloads.scenarios import GOSSIP_TAG, ProtocolScenario
-from repro.workloads.transactions import TransactionGenerator
+from repro.workloads.traffic import Submission
+from repro.workloads.transactions import Transaction, TransactionGenerator
 
 __all__ = ["BlockchainNode", "ProtocolRun"]
 
 BLOCK_GOSSIP = GOSSIP_TAG
+TX_GOSSIP = TX_GOSSIP_TAG
 
 
 class BlockchainNode(SimProcess):
@@ -75,6 +78,22 @@ class BlockchainNode(SimProcess):
         self.txgen = TransactionGenerator(
             seed=prf_uint64("txgen", scenario.seed, scenario.name, name)
         )
+        # The transaction pipeline (scenario.traffic): a fee-priority
+        # mempool fed by client submissions and tx gossip, drained by
+        # the block packer, reaped on fork-choice reads.  None keeps the
+        # historical synthetic-generator path byte-identical.
+        self.pool: Optional[Mempool] = None
+        self.packer: Optional[BlockPacker] = None
+        self.tx_seen: set = set()
+        self.tx_gossip_received = 0
+        self.tx_gossip_duplicates = 0
+        if scenario.traffic is not None:
+            self.pool = Mempool(
+                genesis_coins=scenario.traffic.genesis_coins(),
+                capacity=scenario.traffic.pool_capacity,
+                min_fee=scenario.traffic.min_fee,
+            )
+            self.packer = BlockPacker(self.pool)
 
     # -- reads ------------------------------------------------------------------
 
@@ -91,6 +110,11 @@ class BlockchainNode(SimProcess):
         op_id = rec.begin(self.name, "read", (), time=self.now)
         chain = self.selection.select(self.tree)
         rec.end(self.name, op_id, "read", chain, time=self.now)
+        if self.pool is not None:
+            # Committed transactions are reaped on fork-choice reads:
+            # the pool syncs to the chain this read observed.
+            self.pool.observe_chain(chain, self.now)
+            self._relay_fresh_txs()
         return chain
 
     def schedule_periodic_reads(self) -> None:
@@ -233,10 +257,82 @@ class BlockchainNode(SimProcess):
     def on_new_block(self, block: Block) -> None:
         """Hook: called after a block enters the tree (protocol reaction)."""
 
+    # -- transaction pipeline --------------------------------------------------------
+
+    def submit_transactions(self, txs: Tuple[Transaction, ...]) -> int:
+        """Client ingress: ingest a submitted batch and gossip it onward.
+
+        Accepted transactions are flooded over the same channels as
+        blocks (so partitions/churn shape propagation identically);
+        duplicates and double spends die here.  Returns the number of
+        transactions accepted into the local pool.
+        """
+        if self.pool is None:
+            return 0
+        chain = self.selection.select(self.tree)
+        accepted = self.pool.add_batch(txs, chain=chain, now=self.now)
+        self.tx_seen.update(tx.tx_id for tx in txs)
+        self._relay_fresh_txs(accepted)
+        return len(accepted)
+
+    def _relay_fresh_txs(self, accepted: Tuple[Transaction, ...] = ()) -> None:
+        """Flood newly pooled transactions: the just-accepted batch plus
+        any parked orphans an unpark cascade admitted (those were never
+        relayed while waiting for their parent)."""
+        fresh = list(accepted)
+        fresh.extend(self.pool.drain_unparked())
+        if fresh:
+            self.broadcast((TX_GOSSIP, tuple(fresh)))
+
+    def on_tx_gossip(self, src: str, message: tuple) -> bool:
+        """Handle a flooded transaction batch; True when consumed.
+
+        Forward-once flooding, like blocks: only first-seen transactions
+        that the pool accepts are relayed, so invalid spam stops at the
+        first honest replica.  Transaction gossip is transport traffic,
+        not a §4.2 replica event — nothing is recorded to the history.
+        """
+        if not (isinstance(message, tuple) and message and message[0] == TX_GOSSIP):
+            return False
+        if self.pool is None:
+            return True  # pipeline disabled: swallow silently
+        _tag, txs = message
+        fresh = []
+        for tx in txs:
+            self.tx_gossip_received += 1
+            if tx.tx_id in self.tx_seen:
+                self.tx_gossip_duplicates += 1
+                continue
+            self.tx_seen.add(tx.tx_id)
+            fresh.append(tx)
+        if not fresh:
+            return True
+        chain = self.selection.select(self.tree)
+        accepted = self.pool.add_batch(fresh, chain=chain, now=self.now)
+        self._relay_fresh_txs(accepted)
+        return True
+
+    def on_gossip(self, src: str, message: tuple) -> bool:
+        """Dispatch block *and* transaction gossip; True when consumed."""
+        if self.on_block_gossip(src, message):
+            return True
+        return self.on_tx_gossip(src, message)
+
     # -- helpers --------------------------------------------------------------------
 
     def make_payload(self) -> tuple:
-        """Draw a batch of transactions for a new block."""
+        """Fill a new block's payload.
+
+        With the transaction pipeline enabled the payload comes from
+        the local pool via the block packer (fee-priority order, valid
+        in the context of the selected chain); otherwise from the
+        per-replica synthetic generator.
+        """
+        if self.packer is not None:
+            chain = self.selection.select(self.tree)
+            payload = self.packer.pack(chain, self.scenario.tx_per_block, self.now)
+            self._relay_fresh_txs()  # packing syncs the pool; relay unparks
+            return payload
         return self.txgen.batch(self.scenario.tx_per_block)
 
     def selected_tip(self) -> Block:
@@ -262,6 +358,10 @@ class ProtocolRun:
     #: Wall-clock seconds spent inside ``Simulator.run`` (run metadata
     #: for the campaign engine's events/sec throughput column).
     wall_clock_s: float = 0.0
+    #: The compiled client-traffic schedule (empty without a
+    #: ``scenario.traffic``); submission times anchor the
+    #: confirmation-latency measurements of :meth:`mempool_stats`.
+    submissions: Tuple[Submission, ...] = ()
 
     @property
     def node_names(self) -> List[str]:
@@ -298,6 +398,82 @@ class ProtocolRun:
     def unknown_append_resolutions(self) -> int:
         """Total resolve-without-begin events across all replicas."""
         return sum(n.unknown_append_resolutions for n in self.nodes)
+
+    def mempool_stats(self) -> Dict[str, Any]:
+        """Transaction-pipeline measurements (empty without traffic).
+
+        Deterministic by construction — every number derives from
+        simulated time and counters, never wall clock — so a serial and
+        a parallel campaign execution of the same cell report identical
+        stats (the invariant the mempool bench gates).
+
+        * ``per_node`` — pool lifecycle counters, packer totals and
+          gossip duplicate counts for every replica;
+        * ``committed`` — throughput over the majority-view chain:
+          unique committed transactions, committed tx per simulated
+          second, and the confirmation-latency distribution (submission
+          to first observation on the majority-view replica's chain);
+        * ``duplicate_relay_ratio`` — duplicate tx-gossip receives over
+          all tx-gossip receives (flooding redundancy).
+        """
+        if self.scenario.traffic is None:
+            return {}
+        from repro.protocols.classify import majority_view
+
+        per_node: Dict[str, Dict[str, int]] = {}
+        for node in self.nodes:
+            stats = dict(node.pool.stats())
+            stats["blocks_packed"] = node.packer.blocks_packed
+            stats["txs_packed"] = node.packer.txs_packed
+            stats["tx_gossip_received"] = node.tx_gossip_received
+            stats["tx_gossip_duplicates"] = node.tx_gossip_duplicates
+            per_node[node.name] = stats
+        chains = self.final_chains()
+        majority = majority_view(chains)
+        representative = min(
+            name for name, chain in chains.items() if chain.tip_id == majority.tip_id
+        )
+        rep_node = next(n for n in self.nodes if n.name == representative)
+        committed_ids = set(rep_node.pool.view.committed)
+        first_submit: Dict[str, float] = {}
+        submitted_ids = set()
+        for sub in self.submissions:
+            for tx in sub.txs:
+                submitted_ids.add(tx.tx_id)
+                if tx.tx_id not in first_submit:
+                    first_submit[tx.tx_id] = sub.time
+        latencies = sorted(
+            rep_node.pool.committed_at[tx_id] - first_submit[tx_id]
+            for tx_id in committed_ids
+            if tx_id in first_submit and tx_id in rep_node.pool.committed_at
+        )
+
+        def percentile(q: float) -> float:
+            if not latencies:
+                return 0.0
+            index = min(len(latencies) - 1, int(q * len(latencies)))
+            return latencies[index]
+
+        duration = self.scenario.duration or 1.0
+        received = sum(n.tx_gossip_received for n in self.nodes)
+        duplicates = sum(n.tx_gossip_duplicates for n in self.nodes)
+        return {
+            "per_node": per_node,
+            "committed": {
+                "txs": len(committed_ids),
+                "submitted": len(submitted_ids),
+                "tx_per_s": len(committed_ids) / duration,
+                "latency": {
+                    "observed": len(latencies),
+                    "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+                    "p50": percentile(0.50),
+                    "p90": percentile(0.90),
+                    "max": latencies[-1] if latencies else 0.0,
+                },
+                "majority_node": representative,
+            },
+            "duplicate_relay_ratio": duplicates / received if received else 0.0,
+        }
 
     def parent_map(self) -> Dict[str, str]:
         """block_id → parent_id over all blocks on all replicas."""
@@ -338,6 +514,22 @@ class ProtocolRun:
         ]
         if configure is not None:
             configure(net, nodes)
+        submissions: Tuple[Submission, ...] = ()
+        if scenario.traffic is not None:
+            # Open-loop client traffic: the schedule is compiled up
+            # front (deterministic per seed) and injected at each
+            # ingress replica's local clock — propagation to everyone
+            # else rides tx gossip through the (possibly faulty)
+            # channel stack.
+            submissions = scenario.traffic.compile_submissions(
+                scenario.node_names(), scenario.seed, scenario.duration
+            )
+            by_name = {node.name: node for node in nodes}
+            for sub in submissions:
+                sim.schedule_at(
+                    sub.time,
+                    lambda sub=sub: by_name[sub.ingress].submit_transactions(sub.txs),
+                )
         samples: List[Tuple[float, int, int]] = []
         if scenario.metrics_interval:
             sim.every(
@@ -373,4 +565,5 @@ class ProtocolRun:
             faults=faults,
             samples=samples,
             wall_clock_s=wall_clock_s,
+            submissions=submissions,
         )

@@ -121,7 +121,7 @@ class BitcoinNode(BlockchainNode):
             self._schedule_mining()
 
     def on_message(self, src: str, message: Any) -> None:
-        self.on_block_gossip(src, message)
+        self.on_gossip(src, message)
 
 
 def run_bitcoin(scenario: ProtocolScenario | None = None, **overrides) -> ProtocolRun:

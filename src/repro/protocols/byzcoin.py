@@ -142,7 +142,7 @@ class CommitteePoWNode(BlockchainNode):
         self._schedule_mining()
 
     def on_message(self, src: str, message: Any) -> None:
-        if self.on_block_gossip(src, message):
+        if self.on_gossip(src, message):
             return
         if isinstance(message, tuple) and message and message[0] == CANDIDATE:
             _tag, height, block = message

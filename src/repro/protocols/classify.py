@@ -32,7 +32,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.blocktree.chain import Chain
 
-from repro.blocktree.score import LengthScore, WorkScore
+from repro.blocktree.score import LengthScore
 from repro.consistency.criteria import BTEventualConsistency, BTStrongConsistency
 from repro.protocols.base import ProtocolRun
 from repro.workloads.scenarios import ProtocolScenario, default_scenarios
@@ -107,9 +107,7 @@ def majority_view(chains: Dict[str, Chain]) -> Chain:
         raise ValueError("majority_view needs at least one chain")
     votes = Counter(chain.tip_id for chain in chains.values())
     by_tip = {chain.tip_id: chain for chain in chains.values()}
-    best_tip = min(
-        votes, key=lambda tip: (-votes[tip], -by_tip[tip].height, tip)
-    )
+    best_tip = min(votes, key=lambda tip: (-votes[tip], -by_tip[tip].height, tip))
     return by_tip[best_tip]
 
 

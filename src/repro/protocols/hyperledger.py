@@ -97,7 +97,7 @@ class HyperledgerNode(BlockchainNode):
         self.adopt_block(block, relay=True)
 
     def on_message(self, src: str, message: Any) -> None:
-        if self.on_block_gossip(src, message):
+        if self.on_gossip(src, message):
             return
         if isinstance(message, tuple) and message:
             if message[0] == "hl-block":

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Tuple
 
-from repro.blocktree.block import Block, make_block
+from repro.blocktree.block import make_block
 from repro.consensus.superblock import SuperblockComponent
 from repro.protocols.base import BlockchainNode, ProtocolRun
 from repro.workloads.scenarios import ProtocolScenario
@@ -71,7 +71,7 @@ class RedBellyNode(BlockchainNode):
         self.adopt_block(block, relay=True)
 
     def on_message(self, src: str, message: Any) -> None:
-        if self.on_block_gossip(src, message):
+        if self.on_gossip(src, message):
             return
         self.sb.on_message(src, message)
 

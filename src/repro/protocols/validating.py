@@ -12,7 +12,6 @@ spends, whose blocks honest validators refuse.
 
 from __future__ import annotations
 
-from typing import Any
 
 from repro.blocktree.block import Block, make_block
 from repro.protocols.bitcoin import BitcoinNode

@@ -99,9 +99,7 @@ class AppendOnlyLogStore(BlockStore):
                 break  # torn/corrupt body from a crash mid-write
             if rtype == b"B":
                 block = decode_block(body)
-                self._index.setdefault(
-                    block.block_id, (offset + _HEAD.size, length)
-                )
+                self._index.setdefault(block.block_id, (offset + _HEAD.size, length))
             elif rtype == b"C":
                 self._checkpoint = decode_checkpoint(body)
             else:

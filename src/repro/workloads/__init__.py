@@ -14,13 +14,26 @@ from repro.workloads.transactions import (
     ChainValidator,
     Transaction,
     TransactionGenerator,
+    default_genesis_coins,
 )
-from repro.workloads.scenarios import ProtocolScenario, default_scenarios
+from repro.workloads.traffic import ClientTrafficScenario, Submission, traffic_presets
+from repro.workloads.scenarios import (
+    AdversarialScenario,
+    ProtocolScenario,
+    adversarial_scenarios,
+    default_scenarios,
+)
 
 __all__ = [
     "Transaction",
     "TransactionGenerator",
     "ChainValidator",
+    "default_genesis_coins",
+    "ClientTrafficScenario",
+    "Submission",
+    "traffic_presets",
     "ProtocolScenario",
+    "AdversarialScenario",
     "default_scenarios",
+    "adversarial_scenarios",
 ]

@@ -38,6 +38,7 @@ from repro._util import prf_uint64
 from repro.blocktree.block import GENESIS, Block, make_block
 from repro.blocktree.tree import BlockTree, PrunePolicy
 from repro.storage import STORE_KINDS, BlockStore, open_store
+from repro.workloads.traffic import ClientTrafficScenario, traffic_presets
 
 __all__ = [
     "GOSSIP_TAG",
@@ -47,9 +48,11 @@ __all__ = [
     "ChurnEvent",
     "TrafficBurst",
     "AdversarialScenario",
+    "ClientTrafficScenario",
     "TreeScenario",
     "default_scenarios",
     "adversarial_scenarios",
+    "traffic_presets",
     "tree_scenarios",
     "skewed_merits",
 ]
@@ -104,6 +107,12 @@ class ProtocolScenario:
     #: Confirmation depth held back below the recent-read LCA when the
     #: prune lifecycle checkpoints (PrunePolicy.finality_margin).
     prune_margin: int = 16
+    #: Open-loop client traffic driving the transaction pipeline.  When
+    #: set, replicas run a mempool + block packer (payloads come from
+    #: the pool instead of the per-replica synthetic generator) and the
+    #: compiled submission schedule is injected during the run.  None
+    #: keeps the historical generator path byte-identical.
+    traffic: Optional[ClientTrafficScenario] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -145,6 +154,8 @@ class ProtocolScenario:
             raise ValueError("pruning needs a durable store (log or sqlite)")
         if self.prune_margin < 0:
             raise ValueError("prune_margin must be >= 0")
+        if self.traffic is not None:
+            self.traffic.validate()
 
     def merit_of(self, index: int) -> float:
         """The merit α of node ``index`` (uniform when unspecified)."""
@@ -587,6 +598,7 @@ def adversarial_scenarios(n_nodes: int = 4, duration: float = 240.0) -> Dict[str
     """
     half = n_nodes // 2
     names = tuple(f"p{i}" for i in range(n_nodes))
+    presets = traffic_presets(duration)
     return {
         "partition-heal": AdversarialScenario(
             name="partition-heal",
@@ -641,6 +653,27 @@ def adversarial_scenarios(n_nodes: int = 4, duration: float = 240.0) -> Dict[str
             bursts=(
                 TrafficBurst(at=duration * 0.3, duration=duration * 0.2, factor=6.0),
             ),
+            metrics_interval=duration / 24,
+        ),
+        # Transaction-pipeline presets: client traffic drives the
+        # mempool/gossip/packer path (see repro.mempool).  The fault-free
+        # steady workload is the throughput baseline; the spam flood
+        # stresses duplicate filtering, double-spend rejection and
+        # bounded-capacity eviction on every replica.
+        "client-steady": AdversarialScenario(
+            name="client-steady",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=12.0,
+            traffic=presets["steady"],
+            metrics_interval=duration / 24,
+        ),
+        "spam-flood": AdversarialScenario(
+            name="spam-flood",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=12.0,
+            traffic=presets["spam-flood"],
             metrics_interval=duration / 24,
         ),
     }

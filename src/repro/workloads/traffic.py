@@ -1,0 +1,244 @@
+"""Open-loop client traffic: deterministic submission schedules.
+
+A :class:`ClientTrafficScenario` describes *who submits what, where and
+when*: a fleet of clients (each with its own coin namespace and
+collision-free :class:`~repro.workloads.transactions.TransactionGenerator`
+stream), an aggregate arrival rate with optional burst windows, an
+ingress distribution over replicas (uniform or skewed toward a
+"region"), and an optional spam/flood adversary that floods duplicate
+and double-spending dust transactions.
+
+The schedule is *open loop*: :meth:`compile_submissions` precomputes
+every ``(time, ingress replica, transaction batch)`` event from a
+SHA-256-derived seed before the simulation starts, so client load never
+reacts to chain state and a serial and a parallel campaign execution of
+the same cell see byte-identical traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro._util import prf_uint64
+from repro.workloads.transactions import (
+    Transaction,
+    TransactionGenerator,
+    default_genesis_coins,
+)
+
+__all__ = [
+    "Submission",
+    "ClientTrafficScenario",
+    "traffic_presets",
+]
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One scheduled client submission: a batch entering one replica."""
+
+    time: float
+    ingress: str
+    txs: Tuple[Transaction, ...]
+
+
+@dataclass(frozen=True)
+class ClientTrafficScenario:
+    """Parameters of an open-loop client workload (see module docstring).
+
+    ``rate`` is the aggregate transaction arrival rate (tx per simulated
+    time unit); ``bursts`` are ``(at, duration, factor)`` windows that
+    multiply it.  ``ingress_skew`` shapes where traffic enters: 0 is
+    uniform, larger values concentrate submissions on low-index
+    replicas (``weight ∝ 1/(i+1)^skew`` — the regional-skew preset).
+    ``spam_rate`` is the probability a submission event is a flood:
+    ``spam_copies`` duplicates of a zero-fee double-spending
+    transaction.  ``pool_capacity`` / ``min_fee`` configure the replica
+    pools for runs driven by this traffic.
+    """
+
+    name: str
+    rate: float = 2.0
+    batch: int = 4
+    start: float = 0.0
+    until: float = 0.0  # 0 → the protocol scenario's duration
+    n_clients: int = 8
+    coins_per_client: int = 6
+    fee_mean: float = 10.0
+    bursts: Tuple[Tuple[float, float, float], ...] = ()
+    ingress_skew: float = 0.0
+    spam_rate: float = 0.0
+    spam_copies: int = 4
+    pool_capacity: int = 1024
+    min_fee: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("traffic scenario needs a name")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if self.until < 0:
+            raise ValueError("until must be >= 0")
+        if self.n_clients < 1:
+            raise ValueError("n_clients must be >= 1")
+        if self.coins_per_client < 1:
+            raise ValueError("coins_per_client must be >= 1")
+        if self.fee_mean < 0:
+            raise ValueError("fee_mean must be >= 0")
+        for at, duration, factor in self.bursts:
+            if duration <= 0 or factor <= 0 or at < 0:
+                raise ValueError("burst windows need at>=0, duration>0, factor>0")
+        if self.ingress_skew < 0:
+            raise ValueError("ingress_skew must be >= 0")
+        if not 0.0 <= self.spam_rate <= 1.0:
+            raise ValueError("spam_rate must be in [0, 1]")
+        if self.spam_copies < 1:
+            raise ValueError("spam_copies must be >= 1")
+        if self.pool_capacity < 0:
+            raise ValueError("pool_capacity must be >= 0")
+        if self.min_fee < 0:
+            raise ValueError("min_fee must be >= 0")
+
+    # -- coin universe -------------------------------------------------------
+
+    def client_names(self) -> Tuple[str, ...]:
+        return tuple(f"client{i}" for i in range(self.n_clients))
+
+    def genesis_coins(self) -> Tuple[str, ...]:
+        """The union of every client's pre-minted coins.
+
+        Replica pools and validators are seeded with this universe so
+        client transactions are chain-valid from the first block.
+        """
+        coins: List[str] = []
+        for client in self.client_names():
+            coins.extend(default_genesis_coins(self.coins_per_client, client))
+        if self.spam_rate:
+            # The flood adversary owns its own namespace: spam never
+            # consumes (or corrupts the lineage of) honest client coins.
+            coins.extend(default_genesis_coins(self.coins_per_client, "spammer"))
+        return tuple(coins)
+
+    # -- schedule ------------------------------------------------------------
+
+    def rate_at(self, now: float) -> float:
+        """The arrival rate in effect at ``now`` (bursts applied)."""
+        rate = self.rate
+        for at, duration, factor in self.bursts:
+            if at <= now < at + duration:
+                rate *= factor
+        return rate
+
+    def _ingress_weights(self, node_names: Tuple[str, ...]) -> List[float]:
+        if self.ingress_skew <= 0:
+            return [1.0] * len(node_names)
+        return [1.0 / ((i + 1) ** self.ingress_skew) for i in range(len(node_names))]
+
+    def compile_submissions(
+        self, node_names: Tuple[str, ...], seed: int, duration: float
+    ) -> Tuple[Submission, ...]:
+        """The full deterministic submission schedule for one run.
+
+        ``seed`` is the protocol scenario's seed; the traffic stream is
+        derived from it through the SHA-256 PRF (own stream per cell,
+        independent of the simulator's RNG).  Events arrive
+        Poisson-style at :meth:`rate_at`, each carrying ``batch``
+        transactions from a deterministically chosen client, entering
+        at a deterministically chosen replica.
+        """
+        if not node_names:
+            raise ValueError("traffic needs at least one ingress replica")
+        rng = random.Random(prf_uint64("traffic", seed, self.name))
+        generators = {
+            client: TransactionGenerator(
+                seed=prf_uint64("traffic-client", seed, self.name, client),
+                issuers=(client,),
+                fee_mean=self.fee_mean,
+                genesis_coins=default_genesis_coins(self.coins_per_client, client),
+            )
+            for client in self.client_names()
+        }
+        spammer = TransactionGenerator(
+            seed=prf_uint64("traffic-spammer", seed, self.name),
+            issuers=("spammer",),
+            fee_mean=0.0,
+            genesis_coins=default_genesis_coins(self.coins_per_client, "spammer"),
+        )
+        weights = self._ingress_weights(node_names)
+        horizon = self.until or duration
+        clients = self.client_names()
+        events: List[Submission] = []
+        now = self.start
+        while True:
+            rate = self.rate_at(now)
+            now += rng.expovariate(rate / self.batch)
+            if now >= horizon:
+                break
+            client = clients[rng.randrange(len(clients))]
+            ingress = rng.choices(node_names, weights=weights, k=1)[0]
+            gen = generators[client]
+            if self.spam_rate and rng.random() < self.spam_rate:
+                txs = self._spam_batch(spammer, rng)
+            else:
+                txs = gen.batch(self.batch)
+            events.append(Submission(time=now, ingress=ingress, txs=txs))
+        return tuple(events)
+
+    def _spam_batch(
+        self, spammer: TransactionGenerator, rng: random.Random
+    ) -> Tuple[Transaction, ...]:
+        """A flood batch: zero-fee double spends, duplicated.
+
+        The spammer re-spends a coin *its own* earlier transaction
+        already consumed (a pool-level double spend every replica must
+        filter) and submits ``spam_copies`` identical copies (duplicate
+        relay pressure).  Until the spammer has spent something, it
+        floods duplicated zero-fee spends from its own namespace —
+        never a draw from an honest client's generator, whose coin
+        lineage would otherwise hinge on a spam transaction committing.
+        """
+        spent = spammer._spent
+        if spent:
+            coin = spent[rng.randrange(len(spent))]
+            tx = Transaction.make(
+                (coin,), (f"spam-{rng.getrandbits(48):012x}",), "spammer", fee=0.0
+            )
+        else:
+            tx = spammer.next_transaction()
+        return (tx,) * self.spam_copies
+
+
+def traffic_presets(duration: float = 240.0) -> Dict[str, ClientTrafficScenario]:
+    """The standard client workloads (steady / bursty / spam / skew).
+
+    ``duration`` sizes the burst windows; the schedules themselves run
+    for the protocol scenario's duration.
+    """
+    return {
+        "steady": ClientTrafficScenario(name="steady", rate=2.0),
+        "bursty": ClientTrafficScenario(
+            name="bursty",
+            rate=1.5,
+            bursts=((duration * 0.3, duration * 0.2, 6.0),),
+        ),
+        "spam-flood": ClientTrafficScenario(
+            name="spam-flood",
+            rate=3.0,
+            spam_rate=0.5,
+            spam_copies=6,
+            pool_capacity=128,
+            fee_mean=6.0,
+        ),
+        "regional-skew": ClientTrafficScenario(
+            name="regional-skew", rate=2.0, ingress_skew=2.5
+        ),
+    }

@@ -8,43 +8,73 @@ instantiation of ``P``.
 
 :class:`TransactionGenerator` draws a deterministic stream of valid
 transactions from a seeded RNG, and can inject double spends at a chosen
-rate to exercise the validity machinery.
+rate to exercise the validity machinery.  Minted coin ids are
+*content-derived* (``sha256(seed, counter, inputs)``, the outpoint idea):
+two mints can only share an id by being the same transaction, so coin
+ids stay collision-free even when a reorg makes a minting block stale
+and the client re-issues from a rolled-back generator state (the old
+``coin-{seed}-{counter}`` scheme re-minted the same id with different
+lineage in that situation).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Any, Iterable, List, Optional, Set, Tuple
 
 from repro._util import sha256_hex
 from repro.blocktree.chain import Chain
 
-__all__ = ["Transaction", "TransactionGenerator", "ChainValidator"]
+__all__ = [
+    "Transaction",
+    "TransactionGenerator",
+    "ChainValidator",
+    "default_genesis_coins",
+]
+
+
+def default_genesis_coins(n: int = 8, namespace: str = "") -> Tuple[str, ...]:
+    """The pre-minted coin ids seeding a UTXO universe.
+
+    The default (empty) namespace reproduces the historical
+    ``genesis-coin-{i}`` ids; client-traffic scenarios use per-client
+    namespaces so independent clients never contend for the same coins.
+    """
+    prefix = f"genesis-coin-{namespace}-" if namespace else "genesis-coin-"
+    return tuple(f"{prefix}{i}" for i in range(n))
 
 
 @dataclass(frozen=True)
 class Transaction:
     """A transfer consuming ``inputs`` and minting ``outputs``.
 
-    ``tx_id`` commits to the content; coinbase transactions have no
-    inputs.
+    ``tx_id`` commits to the content (fee included); coinbase
+    transactions have no inputs.  ``fee`` is the priority the mempool
+    orders by — higher pays more.
     """
 
     tx_id: str
     inputs: Tuple[str, ...]
     outputs: Tuple[str, ...]
     issuer: str = ""
+    fee: float = 0.0
 
     @staticmethod
-    def make(inputs: Iterable[str], outputs: Iterable[str], issuer: str = "") -> "Transaction":
+    def make(
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        issuer: str = "",
+        fee: float = 0.0,
+    ) -> "Transaction":
         """Build a transaction with a content-derived id."""
         ins, outs = tuple(inputs), tuple(outputs)
         return Transaction(
-            tx_id=sha256_hex("tx", ins, outs, issuer),
+            tx_id=sha256_hex("tx", ins, outs, issuer, fee),
             inputs=ins,
             outputs=outs,
             issuer=issuer,
+            fee=fee,
         )
 
     @property
@@ -59,12 +89,26 @@ class TransactionGenerator:
 
     ``double_spend_rate`` is the probability that a generated transaction
     re-spends an already-consumed coin (an *invalid* transaction used to
-    test rejection paths).
+    test rejection paths).  ``fee_mean`` > 0 attaches an exponentially
+    distributed fee to every draw (0 keeps the historical fee-less
+    stream byte-identical).  ``genesis_coins`` overrides the unspent set
+    the stream starts from — client-traffic scenarios give every client
+    its own namespace so independent streams never spend each other's
+    coins.
+
+    :meth:`snapshot` / :meth:`restore` expose the generator state for
+    fork switching: when a reorg strips the blocks a client's recent
+    transactions landed in, the client rewinds and re-issues.  Because
+    minted coin ids are derived from ``(seed, counter, inputs)``, a
+    re-issue that consumes a different coin mints a *different* id — the
+    re-minting collision of the positional scheme cannot occur.
     """
 
     seed: int
     issuers: Tuple[str, ...] = ("alice", "bob", "carol")
     double_spend_rate: float = 0.0
+    fee_mean: float = 0.0
+    genesis_coins: Optional[Tuple[str, ...]] = None
     _rng: random.Random = field(init=False, repr=False)
     _unspent: List[str] = field(init=False, repr=False)
     _spent: List[str] = field(init=False, repr=False)
@@ -72,27 +116,79 @@ class TransactionGenerator:
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
-        self._unspent = [f"genesis-coin-{i}" for i in range(8)]
+        coins = (
+            self.genesis_coins
+            if self.genesis_coins is not None
+            else default_genesis_coins()
+        )
+        self._unspent = list(coins)
         self._spent = []
+
+    def _mint_id(self, inputs: Tuple[str, ...], issuer: str, fee: float) -> str:
+        """A collision-free coin id committing to the *full* tx content.
+
+        The id covers everything that distinguishes the transaction —
+        seed, counter, consumed inputs, issuer, fee — so two mints can
+        only share an id by being byte-identical transactions.  (An id
+        over ``(seed, counter)`` alone re-mints after a fork-switch
+        rewind; one over ``(seed, counter, inputs)`` still collides
+        when a perturbed replay redraws the same input under a shifted
+        issuer/fee stream.)
+        """
+        return "coin-" + sha256_hex(
+            "coin", self.seed, self._counter, inputs, issuer, fee
+        )[:24]
+
+    def _fee(self) -> float:
+        if self.fee_mean <= 0:
+            return 0.0
+        return round(self._rng.expovariate(1.0 / self.fee_mean), 6)
 
     def next_transaction(self) -> Transaction:
         """Draw the next transaction (valid unless a double spend fires)."""
         self._counter += 1
         issuer = self._rng.choice(self.issuers)
-        outputs = (f"coin-{self.seed}-{self._counter}",)
         if self._spent and self._rng.random() < self.double_spend_rate:
             coin = self._rng.choice(self._spent)
-            return Transaction.make((coin,), outputs, issuer)
+            inputs = (coin,)
+            fee = self._fee()
+            return Transaction.make(
+                inputs, (self._mint_id(inputs, issuer, fee),), issuer, fee
+            )
         if not self._unspent:
-            return Transaction.make((), outputs, issuer)  # coinbase refill
+            # coinbase refill
+            fee = self._fee()
+            return Transaction.make((), (self._mint_id((), issuer, fee),), issuer, fee)
         coin = self._unspent.pop(self._rng.randrange(len(self._unspent)))
         self._spent.append(coin)
+        inputs = (coin,)
+        fee = self._fee()
+        outputs = (self._mint_id(inputs, issuer, fee),)
         self._unspent.extend(outputs)
-        return Transaction.make((coin,), outputs, issuer)
+        return Transaction.make(inputs, outputs, issuer, fee)
 
     def batch(self, size: int) -> Tuple[Transaction, ...]:
         """Draw ``size`` transactions."""
         return tuple(self.next_transaction() for _ in range(size))
+
+    # -- fork switching ------------------------------------------------------
+
+    def snapshot(self) -> Tuple[Any, ...]:
+        """Opaque generator state (counter, coin sets, RNG state)."""
+        return (
+            self._counter,
+            tuple(self._unspent),
+            tuple(self._spent),
+            self._rng.getstate(),
+        )
+
+    def restore(self, state: Tuple[Any, ...]) -> None:
+        """Rewind to a :meth:`snapshot` (the reorg/fork-switch path)."""
+        counter, unspent, spent, rng_state = state
+        self._counter = counter
+        self._unspent = list(unspent)
+        self._spent = list(spent)
+        self._rng.setstate(rng_state)
 
 
 class ChainValidator:
@@ -105,9 +201,9 @@ class ChainValidator:
     """
 
     def __init__(self, genesis_coins: Iterable[str] = ()) -> None:
-        self.genesis_coins: Set[str] = set(genesis_coins) or {
-            f"genesis-coin-{i}" for i in range(8)
-        }
+        self.genesis_coins: Set[str] = set(genesis_coins) or set(
+            default_genesis_coins()
+        )
 
     def _scan(
         self, transactions: Iterable[Transaction], minted: Set[str], spent: Set[str]
@@ -134,7 +230,9 @@ class ChainValidator:
                 return False
         return True
 
-    def block_valid_in_context(self, prefix: Chain, payload: Iterable[Transaction]) -> bool:
+    def block_valid_in_context(
+        self, prefix: Chain, payload: Iterable[Transaction]
+    ) -> bool:
         """Whether ``payload`` is valid when appended after ``prefix``."""
         minted: Set[str] = set()
         spent: Set[str] = set()

@@ -1,6 +1,5 @@
 """Tests for BA* (Algorand) and the Red Belly superblock component."""
 
-import pytest
 
 from repro.consensus import BAStarComponent, SuperblockComponent
 from repro.crypto import VRFKey

@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.blocktree import (
-    GENESIS,
-    AlwaysValid,
-    Block,
-    PredicateValid,
-    TableValid,
-    make_block,
-)
+from repro.blocktree import GENESIS, AlwaysValid, PredicateValid, TableValid, make_block
 
 
 class TestBlock:

@@ -1,9 +1,6 @@
 """Tests for real-PoW validation and Byzantine miner behaviours."""
 
-import pytest
 
-from repro.blocktree import LengthScore
-from repro.consistency import BTEventualConsistency
 from repro.net import Network, Simulator, SynchronousChannel
 from repro.protocols.base import ProtocolRun
 from repro.protocols.bitcoin import BitcoinNode

@@ -15,7 +15,7 @@ from hypothesis import strategies as st
 
 from helpers import build_chain
 
-from repro.blocktree import GENESIS, LengthScore, WorkScore, make_block
+from repro.blocktree import GENESIS, LengthScore, WorkScore
 from repro.consistency import (
     BTEventualConsistency,
     BTStrongConsistency,

@@ -36,9 +36,7 @@ class TestPartitionedClassification:
     def test_deprived_node0_does_not_speak_for_the_run(self):
         run = run_bitcoin(islanded_scenario())
         heights = {name: c.height for name, c in run.final_chains().items()}
-        majority_height = max(
-            heights[n] for n in ("p1", "p2", "p3", "p4")
-        )
+        majority_height = max(heights[n] for n in ("p1", "p2", "p3", "p4"))
         # The regression's precondition: node 0 really is the deprived
         # minority (it mines alone with 1/5 of the merit).
         assert heights["p0"] < majority_height

@@ -1,7 +1,6 @@
 """Deeper consensus-layer scenarios: view-change safety, BA committees,
 superblock fault tolerance, ordering failover chains."""
 
-import pytest
 
 from repro.consensus import BAStarComponent, PBFTComponent, SuperblockComponent
 from repro.crypto import VRFKey

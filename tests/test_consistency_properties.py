@@ -138,9 +138,7 @@ class TestLocalMonotonicRead:
 
 class TestStrongPrefix:
     def test_comparable_chains_ok(self):
-        h = record_reads(
-            [("i", build_chain("1")), ("j", build_chain("1", "2"))]
-        )
+        h = record_reads([("i", build_chain("1")), ("j", build_chain("1", "2"))])
         assert check_strong_prefix(h).ok
 
     def test_divergent_chains_fail(self):
@@ -168,9 +166,7 @@ class TestStrongPrefix:
 
     def test_frozen_limit_comparable_ok(self):
         h = record_reads([("i", build_chain("1", "2"))])
-        model = ContinuationModel(
-            {"i": Continuation(True, GrowthMode.FROZEN, "none")}
-        )
+        model = ContinuationModel({"i": Continuation(True, GrowthMode.FROZEN, "none")})
         assert check_strong_prefix(h, model).ok
 
 
@@ -213,9 +209,7 @@ class TestEventualPrefix:
         assert check_eventual_prefix(h, SCORE, model).ok
 
     def test_diverging_groups_fail(self):
-        h = record_reads(
-            [("i", build_chain("1", "3")), ("j", build_chain("2", "4"))]
-        )
+        h = record_reads([("i", build_chain("1", "3")), ("j", build_chain("2", "4"))])
         model = ContinuationModel.diverging(["i", "j"])
         result = check_eventual_prefix(h, SCORE, model)
         assert not result.ok and "diverge forever" in result.witness
@@ -243,9 +237,7 @@ class TestEventualPrefix:
         assert check_eventual_prefix(h, SCORE, model).ok
 
     def test_all_frozen_diverged_fails(self):
-        h = record_reads(
-            [("i", build_chain("1", "2")), ("j", build_chain("3", "4"))]
-        )
+        h = record_reads([("i", build_chain("1", "2")), ("j", build_chain("3", "4"))])
         model = ContinuationModel(
             {
                 "i": Continuation(True, GrowthMode.FROZEN, "none"),

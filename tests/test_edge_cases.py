@@ -1,6 +1,5 @@
 """Edge-case tests across modules: faults, stats, metrics, histories."""
 
-import math
 
 import pytest
 
@@ -38,9 +37,7 @@ class TestDropBudget:
         assert adversary("a", "b", "m", 0.0)
 
     def test_partition_never_heals_without_heal_at(self):
-        adversary = PartitionAdversary(
-            groups=(frozenset({"a"}), frozenset({"b"}))
-        )
+        adversary = PartitionAdversary(groups=(frozenset({"a"}), frozenset({"b"})))
         assert adversary("a", "b", "m", 1e9)
 
 

@@ -1,8 +1,6 @@
 """Tests for the linearizability (sequential-embedding) checker."""
 
-import pytest
 
-from helpers import build_chain
 
 from repro.blocktree import Chain, GENESIS, LongestChain, make_block
 from repro.consistency import random_refinement_history

@@ -12,6 +12,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "model_checking_tour.py",
     "campaign_matrix.py",
+    "mempool_throughput.py",
 ]
 
 
@@ -36,6 +37,7 @@ def test_all_examples_present():
         "update_agreement_demo.py",
         "model_checking_tour.py",
         "campaign_matrix.py",
+        "mempool_throughput.py",
     }
     present = {p.name for p in EXAMPLES.glob("*.py")}
     assert expected <= present

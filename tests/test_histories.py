@@ -3,14 +3,7 @@
 import pytest
 
 from repro.blocktree import Chain, GENESIS, make_block
-from repro.histories import (
-    ConcurrentHistory,
-    Continuation,
-    ContinuationModel,
-    GrowthMode,
-    HistoryRecorder,
-)
-from repro.histories.events import EventKind
+from repro.histories import Continuation, ContinuationModel, GrowthMode, HistoryRecorder
 
 
 def chain_of(*labels):

@@ -1,8 +1,6 @@
 """Tests for the online consistency monitor, incl. batch-equivalence."""
 
-import math
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for the leader-based ordering service (Hyperledger backbone)."""
 
-import pytest
 
 from repro.consensus import OrderingService
 from repro.net import Network, SimProcess, Simulator, SynchronousChannel

@@ -1,6 +1,5 @@
 """Tests for the paper's figure histories and theorem experiments."""
 
-import pytest
 
 from repro.blocktree import LengthScore
 from repro.consistency import (

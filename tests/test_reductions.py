@@ -120,9 +120,7 @@ class TestSnapshotCT:
 
     def test_every_process_sees_own_token(self):
         def predicate(run):
-            return all(
-                f"tkn{p[1:]}" in decided for p, decided in run.decisions.items()
-            )
+            return all(f"tkn{p[1:]}" in decided for p, decided in run.decisions.items())
 
         assert explore(self._make(), predicate).ok
 

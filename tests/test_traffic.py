@@ -1,0 +1,99 @@
+"""Tests for open-loop client-traffic scenarios and their schedules."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads.traffic import ClientTrafficScenario, traffic_presets
+
+NODES = ("p0", "p1", "p2", "p3")
+
+
+class TestValidation:
+    def test_presets_validate(self):
+        for preset in traffic_presets().values():
+            preset.validate()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ClientTrafficScenario(name="")
+        with pytest.raises(ValueError):
+            ClientTrafficScenario(name="x", rate=0.0)
+        with pytest.raises(ValueError):
+            ClientTrafficScenario(name="x", spam_rate=1.5)
+        with pytest.raises(ValueError):
+            ClientTrafficScenario(name="x", bursts=((0.0, -1.0, 2.0),))
+
+
+class TestCoinUniverse:
+    def test_clients_have_disjoint_namespaces(self):
+        traffic = ClientTrafficScenario(name="x", n_clients=4, coins_per_client=3)
+        coins = traffic.genesis_coins()
+        assert len(coins) == 12 == len(set(coins))
+
+    def test_universe_scales_with_fleet(self):
+        small = ClientTrafficScenario(name="x", n_clients=2).genesis_coins()
+        large = ClientTrafficScenario(name="x", n_clients=8).genesis_coins()
+        assert set(small) < set(large)
+
+
+class TestSchedule:
+    def test_deterministic_per_seed(self):
+        traffic = traffic_presets()["steady"]
+        a = traffic.compile_submissions(NODES, seed=77, duration=200.0)
+        b = traffic.compile_submissions(NODES, seed=77, duration=200.0)
+        assert a == b
+        c = traffic.compile_submissions(NODES, seed=78, duration=200.0)
+        assert a != c
+
+    def test_horizon_and_rate(self):
+        traffic = ClientTrafficScenario(name="x", rate=2.0, batch=4)
+        subs = traffic.compile_submissions(NODES, seed=1, duration=300.0)
+        assert all(0.0 <= s.time < 300.0 for s in subs)
+        total = sum(len(s.txs) for s in subs)
+        # Poisson arrivals around rate*duration = 600 transactions.
+        assert 350 < total < 900
+
+    def test_burst_window_concentrates_arrivals(self):
+        quiet = ClientTrafficScenario(name="q", rate=1.0)
+        bursty = ClientTrafficScenario(name="b", rate=1.0, bursts=((100.0, 50.0, 8.0),))
+        inside = [
+            s
+            for s in bursty.compile_submissions(NODES, seed=5, duration=300.0)
+            if 100.0 <= s.time < 150.0
+        ]
+        baseline = [
+            s
+            for s in quiet.compile_submissions(NODES, seed=5, duration=300.0)
+            if 100.0 <= s.time < 150.0
+        ]
+        assert len(inside) > 3 * max(1, len(baseline))
+
+    def test_regional_skew_concentrates_ingress(self):
+        skewed = traffic_presets()["regional-skew"]
+        subs = skewed.compile_submissions(NODES, seed=9, duration=400.0)
+        counts = Counter(s.ingress for s in subs)
+        assert counts["p0"] > 3 * counts.get("p3", 0)
+
+    def test_uniform_ingress_spreads(self):
+        steady = traffic_presets()["steady"]
+        subs = steady.compile_submissions(NODES, seed=9, duration=400.0)
+        counts = Counter(s.ingress for s in subs)
+        assert set(counts) == set(NODES)
+
+    def test_spam_flood_emits_duplicates_and_zero_fees(self):
+        spam = traffic_presets()["spam-flood"]
+        subs = spam.compile_submissions(NODES, seed=3, duration=300.0)
+        spam_batches = [
+            s for s in subs if len({tx.tx_id for tx in s.txs}) == 1 and len(s.txs) > 1
+        ]
+        assert spam_batches, "no duplicate flood batches generated"
+        assert all(tx.fee == 0.0 for s in spam_batches for tx in s.txs)
+
+    def test_honest_streams_carry_fees(self):
+        steady = traffic_presets()["steady"]
+        subs = steady.compile_submissions(NODES, seed=3, duration=120.0)
+        fees = [tx.fee for s in subs for tx in s.txs]
+        assert any(fee > 0 for fee in fees)

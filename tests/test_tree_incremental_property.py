@@ -8,7 +8,7 @@ weights, the leaf set, best-leaf/best-child indices, the chain cache and
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

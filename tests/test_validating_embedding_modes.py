@@ -1,6 +1,5 @@
 """Tests for contextual tx validation and the sequential-consistency mode."""
 
-import pytest
 
 from repro.blocktree import Chain, GENESIS, LongestChain, make_block
 from repro.consistency.embedding import linearize_bt_history
@@ -8,7 +7,6 @@ from repro.histories import HistoryRecorder
 from repro.net import Network, Simulator, SynchronousChannel
 from repro.protocols.validating import DoubleSpendMiner, ValidatingBitcoinNode
 from repro.workloads import ProtocolScenario
-from repro.workloads.transactions import Transaction
 
 
 def mixed_validation_run(seed=17, duration=150.0):
