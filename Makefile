@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-campaign bench-mempool bench-check bench-all docs-test campaign
+.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-campaign bench-mempool bench-gossip bench-check bench-all docs-test campaign
 
 ## Tier-1: the full unit/property/differential suite (fast, no benches).
 test:
@@ -45,6 +45,14 @@ bench-campaign:
 ## scale with BENCH_MEMPOOL_SCALE.
 bench-mempool:
 	$(PYTHON) -m pytest benchmarks/test_bench_mempool.py -q \
+		--benchmark-disable
+
+## Dissemination-transport gates (reconcile duplicate-relay ≤0.15 at
+## fan-out ≥8 vs ≥0.5 flood, byte-identical committed chains across
+## transports, serial-vs-parallel reconcile campaigns), emitting
+## BENCH_gossip.json.  Override the horizon with BENCH_GOSSIP_DURATION.
+bench-gossip:
+	$(PYTHON) -m pytest benchmarks/test_bench_gossip.py -q \
 		--benchmark-disable
 
 ## Validate every committed BENCH_*.json against the registered schemas

@@ -18,6 +18,7 @@ __all__ = [
     "prf_unit",
     "stable_repr",
     "require",
+    "BoundedSet",
 ]
 
 _UINT64_MAX = 2**64 - 1
@@ -91,6 +92,51 @@ def require(condition: bool, message: str) -> None:
     """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
     if not condition:
         raise ValueError(message)
+
+
+class BoundedSet:
+    """An insertion-ordered string set with FIFO eviction at ``cap``.
+
+    Replicas keep dedup/reject sets for the life of the process; without
+    a bound an adversary feeding junk ids grows them forever.  ``cap=0``
+    disables the bound (plain set semantics).  Eviction is FIFO — the
+    oldest entry leaves first — which is the right shape for
+    "recently refused/seen" memories: old entries are the ones whose
+    re-arrival is cheapest to re-process.
+    """
+
+    __slots__ = ("_cap", "_items")
+
+    def __init__(self, cap: int = 0, items: Iterable[str] = ()) -> None:
+        if cap < 0:
+            raise ValueError("cap must be >= 0 (0 disables the bound)")
+        self._cap = cap
+        self._items: dict = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: str) -> None:
+        if item in self._items:
+            return
+        self._items[item] = None
+        if self._cap and len(self._items) > self._cap:
+            self._items.pop(next(iter(self._items)))
+
+    def discard(self, item: str) -> None:
+        self._items.pop(item, None)
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    @property
+    def cap(self) -> int:
+        return self._cap
 
 
 def pairwise_unordered(items: Iterable[Any]):

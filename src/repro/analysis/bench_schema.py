@@ -56,6 +56,12 @@ SCHEMAS: Dict[str, Dict[str, type]] = {
         "end_to_end": list,
         "campaign_determinism": dict,
     },
+    "BENCH_gossip.json": {
+        "bench": object,
+        "relay": list,
+        "identity": dict,
+        "determinism": dict,
+    },
 }
 
 

@@ -328,6 +328,17 @@ class BlockTree:
         """All current leaves, in insertion order of their ids."""
         return tuple(self.get(b) for b in sorted(self._leaves))
 
+    def leaf_ids(self) -> Tuple[str, ...]:
+        """Sorted ids of all current leaves (no block bodies faulted).
+
+        The reconciliation transport exchanges these as the replica's
+        tip-set: every block ever updated lies on a root→leaf path, so
+        syncing all leaves (plus missing ancestors) syncs whole trees —
+        including abandoned forks, which Update Agreement R3 requires
+        every correct replica to eventually receive.
+        """
+        return tuple(sorted(self._leaves))
+
     def fork_degree(self, block_id: str) -> int:
         """Number of children of ``block_id`` — the number of forks from it."""
         return len(self._children[block_id])

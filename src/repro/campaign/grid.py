@@ -96,6 +96,12 @@ class CampaignGrid:
     #: one sampled at this interval (baseline ``None`` cells excepted —
     #: they must stay byte-identical to ``classify_protocol``).
     metrics_interval: Optional[float] = None
+    #: Dissemination transport for every cell: ``"flood"`` (forward-once
+    #: flooding, the default — baseline cells stay byte-identical to
+    #: ``classify_protocol``) or ``"reconcile"`` (Erlay-style set
+    #: reconciliation).  Applied to *all* cells including baselines, so a
+    #: reconcile grid's baseline is the reconcile reference run.
+    gossip: str = "flood"
 
     def __post_init__(self) -> None:
         unknown = set(self.protocols) - set(PROTOCOLS)
@@ -114,6 +120,11 @@ class CampaignGrid:
         if kind not in STORE_KINDS:
             raise ValueError(
                 f"unknown store {self.store!r}; expected one of {sorted(STORE_KINDS)}"
+            )
+        if self.gossip not in ("flood", "reconcile"):
+            raise ValueError(
+                f"unknown gossip transport {self.gossip!r}; "
+                "expected 'flood' or 'reconcile'"
             )
 
     def size(self) -> int:
@@ -171,6 +182,8 @@ class CampaignGrid:
         for protocol in self.protocols:
             for scenario_name in self.scenarios:
                 preset = self.preset_scenario(protocol, scenario_name)
+                if self.gossip != "flood":
+                    preset = replace(preset, gossip=self.gossip)
                 for index, base_seed in enumerate(self.seeds):
                     scenario = preset
                     baseline = base_seed is None

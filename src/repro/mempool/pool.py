@@ -105,6 +105,41 @@ class Mempool:
     def occupancy(self) -> int:
         return len(self._txs)
 
+    def is_held(self, tx_id: str) -> bool:
+        """Whether the pool currently holds ``tx_id`` (pooled or parked).
+
+        This is the replica's "I have this transaction and would relay
+        it" predicate — committed transactions are *not* held (they left
+        the pool when fork choice reaped them).
+        """
+        return tx_id in self._txs or tx_id in self._parked
+
+    def is_known(self, tx_id: str) -> bool:
+        """Held or already committed on the observed chain.
+
+        A known transaction arriving again is a duplicate; an *unknown*
+        one may be genuinely new or previously rejected for transient
+        reasons (double-spend against a chain that later reorged away) —
+        it must be re-judged, never dropped on sight.
+        """
+        return self.is_held(tx_id) or tx_id in self.view.committed
+
+    def get_held(self, tx_id: str) -> Optional[Transaction]:
+        """The held transaction body for ``tx_id`` (None when not held)."""
+        tx = self._txs.get(tx_id)
+        if tx is not None:
+            return tx
+        return self._parked.get(tx_id)
+
+    def held_ids(self) -> Set[str]:
+        """The ids of every held transaction (pooled and parked).
+
+        This set is what a set-reconciliation transport advertises to
+        peers, and what the replica's ``tx_seen`` dedup set is pruned
+        against on fork-choice reads.
+        """
+        return set(self._txs) | set(self._parked)
+
     def transactions(self) -> Tuple[Transaction, ...]:
         """Pooled transactions in packing priority order."""
         return tuple(self._txs[tx_id] for tx_id in self._priority_order())

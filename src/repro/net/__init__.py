@@ -26,6 +26,14 @@ from repro.net.channels import (
 from repro.net.process import Network, SimProcess
 from repro.net.broadcast import FloodingGossip, check_update_agreement, check_lrc
 from repro.net.faults import MessageDropAdversary, PartitionAdversary
+from repro.net.sketch import BloomFilter, IBLT
+from repro.net.reconcile import (
+    FloodTransport,
+    GossipTransport,
+    ReconcileTransport,
+    build_transport,
+    wire_size,
+)
 
 __all__ = [
     "Simulator",
@@ -42,4 +50,11 @@ __all__ = [
     "check_lrc",
     "MessageDropAdversary",
     "PartitionAdversary",
+    "BloomFilter",
+    "IBLT",
+    "GossipTransport",
+    "FloodTransport",
+    "ReconcileTransport",
+    "build_transport",
+    "wire_size",
 ]

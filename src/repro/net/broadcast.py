@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Optional, Set, Tuple
 
+from repro._util import BoundedSet
 from repro.consistency.properties import PropertyCheck
 from repro.histories.history import ConcurrentHistory
 from repro.net.process import SimProcess
@@ -43,12 +44,24 @@ class FloodingGossip:
     be called from the host's ``on_message`` for ``("gossip", …)``
     messages and invokes ``deliver`` exactly once per message id
     (including for the publisher itself — LRC Validity's self-delivery).
+
+    ``max_seen > 0`` bounds the dedup memory (FIFO eviction): without it
+    the seen-set grows for the life of the process, which defeats the
+    bounded-hot-set storage work.  An evicted id arriving again is
+    re-delivered and re-flooded — wasteful but safe (delivery is
+    idempotent for LRC purposes); size the cap well above the in-flight
+    message window.
     """
 
     host: SimProcess
     deliver: Callable[[str, Any], None]
     record: bool = True
+    max_seen: int = 0
     seen: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.max_seen:
+            self.seen = BoundedSet(cap=self.max_seen, items=self.seen)
 
     def publish(self, msg_id: str, payload: Any) -> None:
         """Flood ``payload`` under ``msg_id`` (first delivery is local)."""

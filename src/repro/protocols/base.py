@@ -17,7 +17,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
-from repro._util import prf_uint64
+from repro._util import BoundedSet, prf_uint64
 from repro.blocktree.block import Block
 from repro.blocktree.chain import Chain
 from repro.blocktree.selection import LongestChain, SelectionFunction
@@ -27,6 +27,7 @@ from repro.histories.history import ConcurrentHistory
 from repro.mempool import TX_GOSSIP_TAG, BlockPacker, Mempool
 from repro.net.channels import ChannelModel
 from repro.net.process import Network, SimProcess
+from repro.net.reconcile import build_transport
 from repro.net.simulator import Simulator
 from repro.workloads.scenarios import GOSSIP_TAG, ProtocolScenario
 from repro.workloads.traffic import Submission
@@ -63,8 +64,14 @@ class BlockchainNode(SimProcess):
         self.selection: SelectionFunction = LongestChain()
         self.orphans: Dict[str, List[Block]] = {}
         self.seen_blocks: set = {self.tree.genesis.block_id}
+        #: Height of the checkpoint the seen-set was last pruned against
+        #: (see :meth:`_prune_seen_sets`).
+        self._seen_pruned_at = 0
         self.received_marks: set = set()  # blocks with a recorded receive
-        self.rejected_blocks: set = set()  # blocks refused by P
+        #: Blocks refused by the validity predicate P.  Bounded FIFO: a
+        #: spam adversary must not grow replica memory without limit, and
+        #: re-validating a long-forgotten junk block is cheap.
+        self.rejected_blocks = BoundedSet(cap=4096)
         self.open_appends: Dict[str, Tuple[int, str]] = {}  # block_id → (op_id, name)
         self.appends_begun = 0
         self.appends_resolved = 0
@@ -94,6 +101,13 @@ class BlockchainNode(SimProcess):
                 min_fee=scenario.traffic.min_fee,
             )
             self.packer = BlockPacker(self.pool)
+        # The dissemination transport (scenario.gossip): forward-once
+        # flooding or Erlay-style set reconciliation.  Both implement
+        # LRC; the recorded send/receive/update events let check_lrc /
+        # check_update_agreement verify the refinement post-hoc.
+        self.transport = build_transport(
+            scenario.gossip, self, interval=scenario.recon_interval
+        )
 
     # -- reads ------------------------------------------------------------------
 
@@ -115,7 +129,41 @@ class BlockchainNode(SimProcess):
             # the pool syncs to the chain this read observed.
             self.pool.observe_chain(chain, self.now)
             self._relay_fresh_txs()
+        self._prune_seen_sets()
         return chain
+
+    def _prune_seen_sets(self) -> None:
+        """Bound the dedup sets when the committed checkpoint advances.
+
+        Both prunes are gated on checkpoint advancement — by then any
+        gossip copy of a forgotten id has long drained from the network.
+        (Pruning on *every* read is a relay-storm bug: an evicted spam
+        tx forgotten while copies are still in flight is re-accepted and
+        re-flooded on each arrival, a positive feedback loop under pool
+        churn.)  ``tx_seen`` shrinks to the ids the pool still holds —
+        committed re-gossips stay duplicates through
+        ``Mempool.is_known`` (the committed-set check), while evicted or
+        transiently rejected ids become re-judgeable instead of being
+        blacklisted forever.  ``seen_blocks`` keeps ids at or above the
+        checkpoint height and in-flight ids (seen bodies not yet in the
+        tree); everything below the committed checkpoint is finalized
+        history whose re-arrival the tree itself dedups.
+        """
+        checkpoint = self.tree.checkpoint_height
+        if checkpoint <= self._seen_pruned_at:
+            return
+        self._seen_pruned_at = checkpoint
+        if self.pool is not None and self.tx_seen:
+            self.tx_seen.intersection_update(self.pool.held_ids())
+        tree = self.tree
+        kept = set()
+        for block_id in self.seen_blocks:
+            if block_id in tree:
+                if tree.height(block_id) >= checkpoint:
+                    kept.add(block_id)
+            elif block_id not in self.rejected_blocks:
+                kept.add(block_id)
+        self.seen_blocks = kept
 
     def schedule_periodic_reads(self) -> None:
         """Start the periodic read loop (every ``scenario.read_interval``)."""
@@ -165,14 +213,16 @@ class BlockchainNode(SimProcess):
         return f"p{block.creator}" if block.creator is not None else ""
 
     def announce_block(self, block: Block) -> None:
-        """Flood a block to all peers (recording the ``send`` event).
+        """Disseminate a block to all peers (recording the ``send`` event).
 
-        The loopback ``receive`` is recorded immediately: LRC Validity
-        requires the sender to deliver its own message.
+        The network action is the transport's (flooded body vs lazy
+        announcement); the loopback ``receive`` is recorded immediately
+        either way: LRC Validity requires the sender to deliver its own
+        message.
         """
         args = (block.parent_id, block.block_id, self.creator_name(block))
         self.record_instant("send", args)
-        self.broadcast((BLOCK_GOSSIP, block.block_id, block))
+        self.transport.announce(block)
         self.record_instant("receive", args)
         self.received_marks.add(block.block_id)
 
@@ -225,7 +275,7 @@ class BlockchainNode(SimProcess):
             "update", (block.parent_id, block.block_id, self.creator_name(block))
         )
         if relay and block.block_id not in self.seen_blocks:
-            self.broadcast((BLOCK_GOSSIP, block.block_id, block))
+            self.transport.relay_block(block)
         self.seen_blocks.add(block.block_id)
         self.on_new_block(block)
         if self.scenario.read_on_update:
@@ -238,21 +288,35 @@ class BlockchainNode(SimProcess):
             self.adopt_block(orphan, relay=relay)
         return True
 
-    def on_block_gossip(self, src: str, message: tuple) -> bool:
-        """Handle a flooded block; returns True when consumed."""
-        if not (isinstance(message, tuple) and message and message[0] == BLOCK_GOSSIP):
-            return False
-        _tag, block_id, block = message
+    def deliver_block_body(self, src: str, block: Block) -> None:
+        """A block body arrived from ``src`` over the transport.
+
+        Records the §4.2 ``receive`` on first sight, then *validates
+        before relaying*: only blocks the tree accepts — or parks as
+        orphans awaiting a parent — propagate onward.  A structurally
+        invalid block dies at the first honest replica instead of being
+        amplified network-wide (the relay-before-validate bug), matching
+        the transaction path, which has always relayed only
+        pool-accepted transactions.
+        """
+        block_id = block.block_id
         if block_id in self.seen_blocks:
-            return True
+            return
         self.seen_blocks.add(block_id)
         self.record_instant(
-            "receive", (block.parent_id, block.block_id, self.creator_name(block))
+            "receive", (block.parent_id, block_id, self.creator_name(block))
         )
         self.received_marks.add(block_id)
-        self.broadcast(message)  # forward-once flooding (LRC agreement)
-        self.adopt_block(block, relay=False)
-        return True
+        adopted = self.adopt_block(block, relay=False)
+        parked = (
+            not adopted
+            and block_id not in self.tree
+            and block_id not in self.rejected_blocks
+        )
+        if adopted or parked:
+            self.transport.relay_block(block)
+        if parked:
+            self.transport.request_parent(src, block)
 
     def on_new_block(self, block: Block) -> None:
         """Hook: called after a block enters the tree (protocol reaction)."""
@@ -271,52 +335,76 @@ class BlockchainNode(SimProcess):
             return 0
         chain = self.selection.select(self.tree)
         accepted = self.pool.add_batch(txs, chain=chain, now=self.now)
-        self.tx_seen.update(tx.tx_id for tx in txs)
+        # Only ids the pool accepted or holds are marked seen: a
+        # submission rejected for a transient reason (double-spend
+        # against a chain that later reorgs away) must stay
+        # re-judgeable, not be blacklisted forever (the
+        # permanent-blacklist bug).
+        self._mark_relayed_tx_seen(txs, accepted)
         self._relay_fresh_txs(accepted)
         return len(accepted)
 
+    def _mark_relayed_tx_seen(
+        self,
+        txs: Tuple[Transaction, ...],
+        accepted: Tuple[Transaction, ...],
+    ) -> None:
+        """Record dedup marks for the ids the pool accepted or holds.
+
+        Every *accepted* id is marked even if a later transaction in the
+        same batch already evicted it: accepted transactions are relayed,
+        and an unmarked relayed id turns each returning gossip copy into
+        a fresh accept-evict-relay cycle — a network-wide storm once the
+        pool saturates.  Of the rest, only ids still held (pooled or
+        parked) are marked; rejected ids stay re-judgeable.
+        """
+        pool = self.pool
+        for tx in accepted:
+            self.tx_seen.add(tx.tx_id)
+        for tx in txs:
+            if pool.is_held(tx.tx_id):
+                self.tx_seen.add(tx.tx_id)
+
     def _relay_fresh_txs(self, accepted: Tuple[Transaction, ...] = ()) -> None:
-        """Flood newly pooled transactions: the just-accepted batch plus
-        any parked orphans an unpark cascade admitted (those were never
-        relayed while waiting for their parent)."""
+        """Propagate newly pooled transactions: the just-accepted batch
+        plus any parked orphans an unpark cascade admitted (those were
+        never relayed while waiting for their parent)."""
         fresh = list(accepted)
         fresh.extend(self.pool.drain_unparked())
         if fresh:
-            self.broadcast((TX_GOSSIP, tuple(fresh)))
+            self.transport.relay_txs(tuple(fresh))
 
-    def on_tx_gossip(self, src: str, message: tuple) -> bool:
-        """Handle a flooded transaction batch; True when consumed.
+    def ingest_gossiped_txs(self, txs: Tuple[Transaction, ...]) -> None:
+        """Transactions arrived over the transport (flooded batch or a
+        reconciliation-round body transfer).
 
-        Forward-once flooding, like blocks: only first-seen transactions
-        that the pool accepts are relayed, so invalid spam stops at the
-        first honest replica.  Transaction gossip is transport traffic,
-        not a §4.2 replica event — nothing is recorded to the history.
+        Duplicate accounting feeds ``duplicate_relay_ratio``: a receive
+        is redundant when the id is already marked seen or known to the
+        pool (held or committed).  Only pool-accepted transactions relay
+        onward, so invalid spam stops at the first honest replica.
+        Transaction gossip is transport traffic, not a §4.2 replica
+        event — nothing is recorded to the history.
         """
-        if not (isinstance(message, tuple) and message and message[0] == TX_GOSSIP):
-            return False
         if self.pool is None:
-            return True  # pipeline disabled: swallow silently
-        _tag, txs = message
+            return
         fresh = []
         for tx in txs:
             self.tx_gossip_received += 1
-            if tx.tx_id in self.tx_seen:
+            if tx.tx_id in self.tx_seen or self.pool.is_known(tx.tx_id):
                 self.tx_gossip_duplicates += 1
                 continue
-            self.tx_seen.add(tx.tx_id)
             fresh.append(tx)
         if not fresh:
-            return True
+            return
         chain = self.selection.select(self.tree)
         accepted = self.pool.add_batch(fresh, chain=chain, now=self.now)
+        self._mark_relayed_tx_seen(tuple(fresh), accepted)
         self._relay_fresh_txs(accepted)
-        return True
 
     def on_gossip(self, src: str, message: tuple) -> bool:
-        """Dispatch block *and* transaction gossip; True when consumed."""
-        if self.on_block_gossip(src, message):
-            return True
-        return self.on_tx_gossip(src, message)
+        """Dispatch transport traffic (blocks, txs, reconciliation
+        control messages); True when consumed."""
+        return self.transport.on_message(src, message)
 
     # -- helpers --------------------------------------------------------------------
 
@@ -475,6 +563,28 @@ class ProtocolRun:
             "duplicate_relay_ratio": duplicates / received if received else 0.0,
         }
 
+    def gossip_stats(self) -> Dict[str, Any]:
+        """Dissemination-transport measurements (both gossip kinds).
+
+        ``per_node`` carries each replica's transport counters (modelled
+        bytes by traffic class, and round/fetch counters under
+        reconciliation); ``totals`` sums the byte/message columns — the
+        numerator of the gossip bench's relayed-bytes-per-committed-tx
+        metric.  Deterministic: byte costs are modelled from message
+        structure, never wall clock.
+        """
+        per_node = {n.name: n.transport.stats() for n in self.nodes}
+        totals = {
+            key: sum(stats[key] for stats in per_node.values())
+            for key in ("messages_sent", "bytes_sent", "block_bytes_sent",
+                        "tx_bytes_sent")
+        }
+        return {
+            "transport": self.scenario.gossip,
+            "per_node": per_node,
+            "totals": totals,
+        }
+
     def parent_map(self) -> Dict[str, str]:
         """block_id → parent_id over all blocks on all replicas."""
         parents: Dict[str, str] = {}
@@ -544,6 +654,10 @@ class ProtocolRun:
                 until=scenario.duration,
             )
         net.start()
+        for node in nodes:
+            # Transport timers (reconciliation rounds) arm at t=0 without
+            # relying on protocol subclasses to forward on_start hooks.
+            sim.schedule(0.0, node.transport.on_start)
         wall_start = _time.perf_counter()
         sim.run(until=scenario.duration + settle)
         wall_clock_s = _time.perf_counter() - wall_start

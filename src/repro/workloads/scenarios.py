@@ -113,6 +113,16 @@ class ProtocolScenario:
     #: compiled submission schedule is injected during the run.  None
     #: keeps the historical generator path byte-identical.
     traffic: Optional[ClientTrafficScenario] = None
+    #: Dissemination transport: ``"flood"`` (forward-once flooding of
+    #: full bodies, the historical behavior) or ``"reconcile"``
+    #: (Erlay-style lazy block announce/getdata + periodic IBLT set
+    #: reconciliation of the transaction pool — see
+    #: :mod:`repro.net.reconcile`).  Every preset, fault model and
+    #: partition scenario runs unchanged on either transport.
+    gossip: str = "flood"
+    #: Reconciliation round cadence (simulated seconds) when
+    #: ``gossip="reconcile"``; ignored under flooding.
+    recon_interval: float = 10.0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -154,6 +164,12 @@ class ProtocolScenario:
             raise ValueError("pruning needs a durable store (log or sqlite)")
         if self.prune_margin < 0:
             raise ValueError("prune_margin must be >= 0")
+        if self.gossip not in ("flood", "reconcile"):
+            raise ValueError(
+                f"unknown gossip {self.gossip!r}; expected 'flood' or 'reconcile'"
+            )
+        if self.recon_interval <= 0:
+            raise ValueError("recon_interval must be positive")
         if self.traffic is not None:
             self.traffic.validate()
 
@@ -360,23 +376,32 @@ class AdversarialScenario(ProtocolScenario):
             drop = rules[0] if len(rules) == 1 else CompositeDrop(rules=tuple(rules))
             channel = LossyChannel(inner=channel, should_drop=drop)
         if self.selfish_nodes:
+            from repro.net.reconcile import RECON_BLK_ANN, RECON_BLK_DATA
+
             selfish = set(self.selfish_nodes)
+
+            def _creator_is(block: Any, src: str) -> bool:
+                creator = getattr(block, "creator", None)
+                return creator is not None and f"p{creator}" == src
 
             def withholds(src: str, dst: str, message: Any, now: float) -> bool:
                 # Withhold only the miner's *own* blocks: forwarded
                 # honest blocks flow normally, which is what a selfish
-                # miner does.
+                # miner does.  Under reconciliation the miner's block
+                # leaves through an announcement or a segment transfer
+                # instead of a flooded body — both are matched here.
                 if src not in selfish:
                     return False
-                if not (
-                    isinstance(message, tuple)
-                    and len(message) == 3
-                    and message[0] == GOSSIP_TAG
-                ):
+                if not (isinstance(message, tuple) and message):
                     return False
-                block = message[2]
-                creator = getattr(block, "creator", None)
-                return creator is not None and f"p{creator}" == src
+                tag = message[0]
+                if tag == GOSSIP_TAG and len(message) == 3:
+                    return _creator_is(message[2], src)
+                if tag == RECON_BLK_ANN and len(message) == 4:
+                    return message[3] == src
+                if tag == RECON_BLK_DATA and len(message) == 2:
+                    return any(_creator_is(b, src) for b in message[1])
+                return False
 
             channel = DelayedChannel(
                 inner=channel,
