@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-campaign bench-mempool bench-gossip bench-check bench-all docs-test campaign
+.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-campaign bench-mempool bench-gossip bench-sync bench-check bench-all docs-test campaign
 
 ## Tier-1: the full unit/property/differential suite (fast, no benches).
 test:
@@ -53,6 +53,14 @@ bench-mempool:
 ## BENCH_gossip.json.  Override the horizon with BENCH_GOSSIP_DURATION.
 bench-gossip:
 	$(PYTHON) -m pytest benchmarks/test_bench_gossip.py -q \
+		--benchmark-disable
+
+## Fast-sync gates (frontier catch-up ≥10× vs naive flood replay over a
+## 50k-block gap, lifecycle classification matrix on both transports,
+## serial-vs-parallel determinism incl. sync stats), emitting
+## BENCH_sync.json.  Override the gap with BENCH_SYNC_GAP.
+bench-sync:
+	$(PYTHON) -m pytest benchmarks/test_bench_sync.py -q \
 		--benchmark-disable
 
 ## Validate every committed BENCH_*.json against the registered schemas

@@ -62,6 +62,12 @@ SCHEMAS: Dict[str, Dict[str, type]] = {
         "identity": dict,
         "determinism": dict,
     },
+    "BENCH_sync.json": {
+        "bench": object,
+        "fast_sync": dict,
+        "lifecycle_matrix": dict,
+        "determinism": dict,
+    },
 }
 
 

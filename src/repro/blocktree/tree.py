@@ -315,6 +315,24 @@ class BlockTree:
         """Distance of ``block_id`` from the root."""
         return self._height[block_id]
 
+    def parent_id(self, block_id: str) -> Optional[str]:
+        """The parent id of ``block_id`` (None for genesis) — O(1).
+
+        Served from the jump table (``row[0]`` is the parent), so evicted
+        blocks never fault back for pure ancestry walks.  Raises
+        ``KeyError`` for unknown blocks.
+        """
+        row = self._anc[block_id]
+        return row[0] if row else None
+
+    def iter_ids(self) -> Iterator[str]:
+        """All block ids in insertion order (parent before child).
+
+        Unlike :meth:`blocks` this never touches Block objects, so it is
+        safe on pruned trees of any size.
+        """
+        return iter(self._height)
+
     def chain_weight(self, block_id: str) -> float:
         """Total weight of the path root→``block_id`` (excluding genesis)."""
         return self._chain_weight[block_id]

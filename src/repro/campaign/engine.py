@@ -53,6 +53,7 @@ def run_cell(cell: CampaignCell) -> CellResult:
         unknown_append_resolutions=run.unknown_append_resolutions(),
         wall_clock_s=run.wall_clock_s,
         mempool=run.mempool_stats() or None,
+        sync=run.sync_stats() or None,
     )
 
 

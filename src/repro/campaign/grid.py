@@ -48,7 +48,10 @@ PROTOCOLS: Tuple[str, ...] = (
 #: ``"default"`` (the per-protocol Table 1 parameter set) plus the
 #: adversarial preset axes of ``adversarial_scenarios`` — including the
 #: transaction-pipeline presets (``client-steady``/``spam-flood``) whose
-#: cells run the mempool/gossip/packer path and report ``mempool_stats``.
+#: cells run the mempool/gossip/packer path and report ``mempool_stats``,
+#: and the node-lifecycle presets
+#: (``crash-rejoin``/``late-join``/``eclipse-heal``) whose cells exercise
+#: fast sync (see :mod:`repro.net.sync`) and report ``sync_stats``.
 SCENARIO_PRESETS: Tuple[str, ...] = (
     "default",
     "partition-heal",
@@ -56,6 +59,9 @@ SCENARIO_PRESETS: Tuple[str, ...] = (
     "selfish-miner",
     "skewed-merit",
     "burst-traffic",
+    "crash-rejoin",
+    "late-join",
+    "eclipse-heal",
     "client-steady",
     "spam-flood",
 )

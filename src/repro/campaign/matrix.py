@@ -66,6 +66,10 @@ class CellResult:
     #: Fully deterministic (simulated time only), so it participates in
     #: the serial-vs-parallel identity the campaign/mempool benches gate.
     mempool: Optional[Dict[str, Any]] = None
+    #: Fast-sync measurements (``ProtocolRun.sync_stats``) for cells
+    #: whose scenario fires lifecycle events; None otherwise.  Same
+    #: determinism contract as ``mempool``.
+    sync: Optional[Dict[str, Any]] = None
 
     @property
     def cell_id(self) -> str:
@@ -89,6 +93,7 @@ class CellResult:
             "events": self.events,
             "unknown_append_resolutions": self.unknown_append_resolutions,
             "mempool": self.mempool,
+            "sync": self.sync,
         }
 
     def flat_dict(self) -> Dict[str, Any]:

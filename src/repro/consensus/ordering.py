@@ -76,6 +76,16 @@ class OrderingService:
             self._started = True
             self.host.set_timer(self.timeout, ("ord-watchdog", self.term, 0))
 
+    def restart(self) -> None:
+        """Re-arm the watchdog after a lifecycle suspend/recover.
+
+        A suspended host's pending watchdog dies with its lifecycle
+        epoch, and :meth:`start` is idempotent by design — so a resumed
+        orderer needs this to get its failure detector ticking again.
+        """
+        self._started = False
+        self.start()
+
     # -- roles ---------------------------------------------------------------
 
     @property

@@ -22,6 +22,7 @@ __all__ = [
     "MessageDropAdversary",
     "PartitionAdversary",
     "ChurnAdversary",
+    "EclipseAdversary",
     "CompositeDrop",
 ]
 
@@ -105,6 +106,33 @@ class ChurnAdversary:
 
     def __call__(self, src: str, dst: str, message: Any, now: float) -> bool:
         if self._offline(src, now) or self._offline(dst, now):
+            self.dropped += 1
+            return True
+        return False
+
+
+@dataclass
+class EclipseAdversary:
+    """Eclipse a victim: filter *all* traffic to and from it until heal.
+
+    Unlike churn, the victim keeps running — its timers fire, it mines
+    on whatever (stale) view it has — but from ``start_at`` until
+    ``heal_at`` every message crossing its link set is dropped, so its
+    view diverges from the honest majority.  After heal it must fast-sync
+    back (``heal_at=None`` never heals).
+    """
+
+    victim: str
+    start_at: float = 0.0
+    heal_at: Optional[float] = None
+    dropped: int = 0
+
+    def __call__(self, src: str, dst: str, message: Any, now: float) -> bool:
+        if now < self.start_at:
+            return False
+        if self.heal_at is not None and now >= self.heal_at:
+            return False
+        if src == self.victim or dst == self.victim:
             self.dropped += 1
             return True
         return False

@@ -37,6 +37,14 @@ class SimProcess:
         self.name = name
         self.network: Optional[Network] = None
         self.crashed = False
+        #: Suspended by a lifecycle fault (crash-recover window, pre-join):
+        #: sends no messages, receives none, and its timers do not fire.
+        #: Unlike ``crashed`` (crash-*stop*, permanent) this is reversible.
+        self.offline = False
+        #: Bumped on every suspend/crash so timers armed in a previous
+        #: life never fire into a recovered process (their closures
+        #: captured the old epoch).
+        self.lifecycle_epoch = 0
 
     # -- lifecycle hooks -------------------------------------------------------
 
@@ -62,10 +70,21 @@ class SimProcess:
                 self.send(other, message)
 
     def set_timer(self, delay: float, tag: Any) -> None:
-        """Schedule :meth:`on_timer` after ``delay`` (dropped if crashed)."""
+        """Schedule :meth:`on_timer` after ``delay``.
+
+        The timer dies silently if the process is crashed or offline at
+        fire time, or if the process suspended-and-resumed in between
+        (the lifecycle epoch moved on): resumed processes re-arm their
+        own timers, and stale ones must not double-fire into them.
+        """
+        epoch = self.lifecycle_epoch
+
         def fire() -> None:
-            if not self.crashed:
-                self.on_timer(tag)
+            if self.crashed or self.offline:
+                return
+            if self.lifecycle_epoch != epoch:
+                return
+            self.on_timer(tag)
 
         self.network.simulator.schedule(delay, fire)
 
@@ -134,7 +153,8 @@ class Network:
 
     def transmit(self, src: str, dst: str, message: Any) -> None:
         """Route one message through the channel model."""
-        if self.processes[src].crashed:
+        sender = self.processes[src]
+        if sender.crashed or sender.offline:
             return
         self.messages_sent += 1
         delay = self.channel.delay(src, dst, message, self.simulator.rng, self.simulator.now)
@@ -151,6 +171,11 @@ class Network:
         def deliver() -> None:
             target = self.processes[dst]
             if target.crashed:
+                return
+            if target.offline:
+                # The wire delivered but nobody is listening: an offline
+                # replica loses in-flight traffic (it catches up via sync).
+                self.messages_dropped += 1
                 return
             self.messages_delivered += 1
             target.on_message(src, message)

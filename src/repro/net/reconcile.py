@@ -108,6 +108,16 @@ _IBLT_CELL_CAP = 4096
 _DIFF_SLACK = 4
 
 
+#: Content-id → modelled size memo for blocks/transactions.  Both are
+#: immutable values whose id is a content hash, so the size is a pure
+#: function of the id; the memo turns the per-field recursion (the
+#: hottest loop of every gossip and sync benchmark) into a dict hit for
+#: every copy after the first.  Cleared wholesale at the cap — eviction
+#: order must not affect behaviour, only speed.
+_SIZE_MEMO: dict = {}
+_SIZE_MEMO_CAP = 1 << 18
+
+
 def wire_size(message: Any) -> int:
     """A deterministic modelled byte cost for a message.
 
@@ -129,9 +139,19 @@ def wire_size(message: Any) -> int:
     if isinstance(message, (tuple, list)):
         return 4 + sum(wire_size(item) for item in message)
     if dataclasses.is_dataclass(message) and not isinstance(message, type):
-        return 4 + sum(
+        key = getattr(message, "block_id", None) or getattr(message, "tx_id", None)
+        if key is not None:
+            cached = _SIZE_MEMO.get(key)
+            if cached is not None:
+                return cached
+        size = 4 + sum(
             wire_size(getattr(message, f.name)) for f in dataclasses.fields(message)
         )
+        if key is not None:
+            if len(_SIZE_MEMO) >= _SIZE_MEMO_CAP:
+                _SIZE_MEMO.clear()
+            _SIZE_MEMO[key] = size
+        return size
     return 16
 
 
@@ -286,10 +306,16 @@ class ReconcileTransport(GossipTransport):
 
     def _schedule(self, delay: float, fn) -> None:
         node = self.node
+        epoch = getattr(node, "lifecycle_epoch", 0)
 
         def fire() -> None:
-            if not node.crashed:
-                fn()
+            if node.crashed or getattr(node, "offline", False):
+                return
+            if getattr(node, "lifecycle_epoch", 0) != epoch:
+                return  # a resumed node's fresh transport re-armed its own
+            if getattr(node, "transport", self) is not self:
+                return  # this transport was replaced by crash recovery
+            fn()
 
         node.network.simulator.schedule(delay, fire)
 

@@ -56,6 +56,12 @@ class AlgorandNode(BlockchainNode):
         self.schedule_periodic_reads()
         self.set_timer(0.5, ("round", 0))
 
+    def on_lifecycle_resume(self) -> None:
+        # Re-running ``on_start`` would restart round 0; a resumed
+        # replica continues from the round after the last one it ran.
+        self.schedule_periodic_reads()
+        self.set_timer(0.5, ("round", self.round + 1))
+
     def on_timer(self, tag: Any) -> None:
         if self._maybe_periodic_read(tag):
             return

@@ -29,11 +29,13 @@ from repro.net.channels import ChannelModel
 from repro.net.process import Network, SimProcess
 from repro.net.reconcile import build_transport
 from repro.net.simulator import Simulator
+from repro.net.sync import SyncManager
+from repro.storage import open_store
 from repro.workloads.scenarios import GOSSIP_TAG, ProtocolScenario
 from repro.workloads.traffic import Submission
 from repro.workloads.transactions import Transaction, TransactionGenerator
 
-__all__ = ["BlockchainNode", "ProtocolRun"]
+__all__ = ["BlockchainNode", "PassiveNode", "ProtocolRun"]
 
 BLOCK_GOSSIP = GOSSIP_TAG
 TX_GOSSIP = TX_GOSSIP_TAG
@@ -58,11 +60,19 @@ class BlockchainNode(SimProcess):
         # The replica tree persists through the scenario's block-store
         # backend (the --store knob); with `prune_hot_cap` set, finalized
         # prefixes are checkpointed and evicted from the hot set.
-        self.tree = BlockTree(
-            store=scenario.build_store(name), prune=scenario.build_prune()
-        )
+        store = scenario.build_store(name)
+        #: Where the durable store file lives (None for memory) — crash
+        #: recovery reopens the same file, like a restarted OS process.
+        self._store_path: Optional[str] = getattr(store, "path", None)
+        self.tree = BlockTree(store=store, prune=scenario.build_prune())
         self.selection: SelectionFunction = LongestChain()
         self.orphans: Dict[str, List[Block]] = {}
+        #: Ids currently parked in ``orphans`` — FIFO-bounded, so a peer
+        #: feeding bodies with never-arriving parents (e.g. below a
+        #: pruned checkpoint) cannot grow replica memory without limit;
+        #: bodies whose id fell out of the bound are discarded on the
+        #: next stale-orphan sweep instead of being retried forever.
+        self._parked_ids = BoundedSet(cap=2048)
         self.seen_blocks: set = {self.tree.genesis.block_id}
         #: Height of the checkpoint the seen-set was last pruned against
         #: (see :meth:`_prune_seen_sets`).
@@ -108,6 +118,15 @@ class BlockchainNode(SimProcess):
         self.transport = build_transport(
             scenario.gossip, self, interval=scenario.recon_interval
         )
+        # Fast-sync (repro.net.sync): every replica answers sync
+        # requests; the client side is driven by lifecycle events.
+        # ``sync_totals`` lives on the node, not the manager, so the
+        # counters survive crash recovery (measurement apparatus, not
+        # replica state).  ``_bulk_sync`` marks batch adoption: per-block
+        # application reads are suppressed (one read per batch instead).
+        self.sync_totals: Dict[str, Any] = SyncManager.fresh_totals()
+        self._bulk_sync = False
+        self.sync = SyncManager(self)
 
     # -- reads ------------------------------------------------------------------
 
@@ -164,6 +183,33 @@ class BlockchainNode(SimProcess):
             elif block_id not in self.rejected_blocks:
                 kept.add(block_id)
         self.seen_blocks = kept
+        self._discard_stale_orphans()
+
+    def _discard_stale_orphans(self) -> None:
+        """Drop parked bodies that will never attach.
+
+        Runs when the committed checkpoint advances: a body is stale
+        when its id fell out of the FIFO ``_parked_ids`` bound, when it
+        entered the tree through another path, or when its parent was
+        judged invalid (descendants of a rejected block are dead).  A
+        parent below the pruned checkpoint can never arrive from honest
+        peers — such bodies age out of the bound instead of being
+        retried forever.
+        """
+        if not self.orphans:
+            return
+        kept: Dict[str, List[Block]] = {}
+        for parent_id, blocks in self.orphans.items():
+            if parent_id in self.rejected_blocks:
+                continue
+            live = [
+                b
+                for b in blocks
+                if b.block_id in self._parked_ids and b.block_id not in self.tree
+            ]
+            if live:
+                kept[parent_id] = live
+        self.orphans = kept
 
     def schedule_periodic_reads(self) -> None:
         """Start the periodic read loop (every ``scenario.read_interval``)."""
@@ -262,6 +308,7 @@ class BlockchainNode(SimProcess):
             return False
         if block.parent_id not in self.tree:
             self.orphans.setdefault(block.parent_id, []).append(block)
+            self._parked_ids.add(block.block_id)
             return False
         if block.block_id not in self.received_marks:
             # The block arrived through a consensus/commit message rather
@@ -278,7 +325,7 @@ class BlockchainNode(SimProcess):
             self.transport.relay_block(block)
         self.seen_blocks.add(block.block_id)
         self.on_new_block(block)
-        if self.scenario.read_on_update:
+        if self.scenario.read_on_update and not self._bulk_sync:
             # Applications read after updates; this makes transient forks
             # observable to the consistency checkers (a read on each side
             # of a fork witnesses the Strong Prefix violation).
@@ -321,6 +368,34 @@ class BlockchainNode(SimProcess):
     def on_new_block(self, block: Block) -> None:
         """Hook: called after a block enters the tree (protocol reaction)."""
 
+    def adopt_synced_blocks(self, src: str, blocks: Tuple[Block, ...]) -> int:
+        """Integrate a fast-sync batch; returns how many blocks were new.
+
+        Batches arrive parent-before-child relative to the local tree
+        (see :func:`repro.net.sync.missing_ids`), so adoption needs no
+        orphan buffering.  Each block's §4.2 receive/update instants are
+        recorded (Update Agreement R3 holds however a block arrives),
+        but per-block relaying and per-block application reads are
+        suppressed — a bulk transfer is one observation of remote state,
+        so one ``read`` is recorded per adopted batch instead of one per
+        block.
+        """
+        added = 0
+        self._bulk_sync = True
+        try:
+            for block in blocks:
+                if block.block_id in self.tree:
+                    self.seen_blocks.add(block.block_id)
+                    continue
+                if self.adopt_block(block, relay=False):
+                    added += 1
+                self.seen_blocks.add(block.block_id)
+        finally:
+            self._bulk_sync = False
+        if added:
+            self.read()
+        return added
+
     # -- transaction pipeline --------------------------------------------------------
 
     def submit_transactions(self, txs: Tuple[Transaction, ...]) -> int:
@@ -331,7 +406,9 @@ class BlockchainNode(SimProcess):
         duplicates and double spends die here.  Returns the number of
         transactions accepted into the local pool.
         """
-        if self.pool is None:
+        if self.pool is None or self.offline:
+            # Submissions to a down ingress replica are lost — clients
+            # talking to a crashed node get no service, not a queue.
             return 0
         chain = self.selection.select(self.tree)
         accepted = self.pool.add_batch(txs, chain=chain, now=self.now)
@@ -402,9 +479,128 @@ class BlockchainNode(SimProcess):
         self._relay_fresh_txs(accepted)
 
     def on_gossip(self, src: str, message: tuple) -> bool:
-        """Dispatch transport traffic (blocks, txs, reconciliation
-        control messages); True when consumed."""
-        return self.transport.on_message(src, message)
+        """Dispatch transport traffic (blocks, txs, reconciliation and
+        fast-sync control messages); True when consumed."""
+        if self.transport.on_message(src, message):
+            return True
+        return self.sync.on_message(src, message)
+
+    # -- node lifecycle ---------------------------------------------------------------
+
+    def apply_lifecycle(self, action: str) -> None:
+        """Dispatch one scenario lifecycle verb (see
+        :meth:`~repro.workloads.scenarios.ProtocolScenario.lifecycle_schedule`)."""
+        handler = {
+            "suspend": self.lifecycle_suspend,
+            "resume": self.lifecycle_resume,
+            "crash": self.lifecycle_crash,
+            "recover": self.lifecycle_recover,
+            "join": self.lifecycle_join,
+            "heal": self.lifecycle_heal,
+        }.get(action)
+        if handler is None:
+            raise ValueError(f"unknown lifecycle action {action!r}")
+        handler()
+
+    def lifecycle_suspend(self) -> None:
+        """Go offline keeping RAM state: timers die, traffic stops.
+
+        Bumping the lifecycle epoch kills every pending timer uniformly
+        across protocols (mining epochs, consensus rounds, watchdogs,
+        periodic reads, transport ticks) — a resumed node re-arms its
+        own.
+        """
+        self.offline = True
+        self.lifecycle_epoch += 1
+
+    def lifecycle_resume(self, sync: bool = True) -> None:
+        """Come back online: re-arm timers, then fast-sync the gap."""
+        self.offline = False
+        self.on_lifecycle_resume()
+        self.transport.on_start()
+        if sync:
+            self.sync.start_sync()
+
+    def on_lifecycle_resume(self) -> None:
+        """Hook: re-arm protocol timers after an outage.
+
+        The default replays ``on_start``; protocols whose start hooks
+        are not safely re-runnable (idempotent service starts, round
+        timers pinned to round 0) override this.
+        """
+        self.on_start()
+
+    def lifecycle_crash(self) -> None:
+        """Lose all in-RAM state; only the block store survives.
+
+        The store is flushed and closed (the crashed OS process's file
+        handle is gone); a placeholder empty tree keeps end-of-run
+        bookkeeping alive while the node is down.  Recorder bookkeeping
+        (``open_appends``) survives — it belongs to the history being
+        measured, not to the replica.
+        """
+        self.offline = True
+        self.lifecycle_epoch += 1
+        store = self.tree._store
+        store.flush()
+        store.close()
+        self.tree = BlockTree()
+        self.orphans = {}
+        self._parked_ids = BoundedSet(cap=2048)
+        self.seen_blocks = {self.tree.genesis.block_id}
+        self.received_marks = set()
+
+    def lifecycle_recover(self) -> None:
+        """Rebuild from the durable store, then resume and fast-sync.
+
+        Durable backends reopen the same per-node file and
+        :meth:`BlockTree.replay` restores tree + checkpoint; the
+        in-memory backend recovers nothing (full resync — the correct
+        degenerate case).  Dedup sets rebuild from the recovered tree;
+        pool, packer, transport and sync manager are constructed fresh,
+        like a restarted process.  Consensus components owned by
+        subclasses (ordering service, committees) are modelled as
+        durably persisted and survive; their timers re-arm through
+        :meth:`on_lifecycle_resume`.
+        """
+        scenario = self.scenario
+        kind = scenario.store.partition(":")[0].strip().lower()
+        if self._store_path is not None:
+            store = open_store(kind, path=self._store_path)
+        else:
+            store = open_store("memory")
+        self.tree = BlockTree.replay(store, prune=scenario.build_prune())
+        self.seen_blocks = set(self.tree.iter_ids())
+        self._seen_pruned_at = 0
+        self.received_marks = set()
+        self.orphans = {}
+        self._parked_ids = BoundedSet(cap=2048)
+        self.rejected_blocks = BoundedSet(cap=4096)
+        if scenario.traffic is not None:
+            self.pool = Mempool(
+                genesis_coins=scenario.traffic.genesis_coins(),
+                capacity=scenario.traffic.pool_capacity,
+                min_fee=scenario.traffic.min_fee,
+            )
+            self.packer = BlockPacker(self.pool)
+            self.tx_seen = set()
+        self.transport = build_transport(
+            scenario.gossip, self, interval=scenario.recon_interval
+        )
+        self.sync = SyncManager(self)
+        self.lifecycle_resume()
+
+    def lifecycle_join(self) -> None:
+        """A late joiner comes online (it started suspended, store empty)."""
+        self.lifecycle_resume()
+
+    def lifecycle_heal(self) -> None:
+        """An eclipse lifted: fast-sync the honest view.
+
+        The victim was never suspended — it kept mining on its filtered
+        view — so nothing re-arms; it only needs to catch up.
+        """
+        self.sync.start_sync()
 
     # -- helpers --------------------------------------------------------------------
 
@@ -426,6 +622,19 @@ class BlockchainNode(SimProcess):
     def selected_tip(self) -> Block:
         """The tip of ``f(bt)`` on the local replica."""
         return self.selection.select(self.tree).tip
+
+
+class PassiveNode(BlockchainNode):
+    """A replica that produces nothing: it gossips, serves and syncs.
+
+    The sync bench and the lifecycle tests use it as a pure
+    dissemination endpoint — all of :class:`BlockchainNode`'s adoption,
+    storage, transport and lifecycle machinery with no block production
+    to perturb measurements.
+    """
+
+    def on_message(self, src: str, message: Any) -> None:
+        self.on_gossip(src, message)
 
 
 @dataclass
@@ -563,6 +772,25 @@ class ProtocolRun:
             "duplicate_relay_ratio": duplicates / received if received else 0.0,
         }
 
+    def sync_stats(self) -> Dict[str, Any]:
+        """Fast-sync measurements (empty when no replica ever synced).
+
+        ``per_node`` carries each replica's cumulative sync counters
+        (they survive crash rebuilds); ``totals`` sums them —
+        ``catch_up_s`` is accumulated *simulated* catch-up time, so the
+        numbers replay identically serial or parallel.  Runs without
+        lifecycle events report ``{}``, keeping default campaign cells
+        byte-identical to their pre-sync serialization.
+        """
+        per_node = {n.name: dict(n.sync_totals) for n in self.nodes}
+        if not any(stats["syncs_started"] for stats in per_node.values()):
+            return {}
+        keys = [k for k in next(iter(per_node.values())) if k != "last_catch_up_s"]
+        totals = {
+            key: sum(stats[key] for stats in per_node.values()) for key in keys
+        }
+        return {"per_node": per_node, "totals": totals}
+
     def gossip_stats(self) -> Dict[str, Any]:
         """Dissemination-transport measurements (both gossip kinds).
 
@@ -624,6 +852,17 @@ class ProtocolRun:
         ]
         if configure is not None:
             configure(net, nodes)
+        by_name = {node.name: node for node in nodes}
+        # Late joiners are registered from the start (the membership set
+        # is the paper's static Π) but stay suspended until their join
+        # event; their t=0 timers die at fire time via the offline gate.
+        for name in scenario.initially_offline():
+            by_name[name].offline = True
+        for at, action, name in scenario.lifecycle_schedule():
+            sim.schedule_at(
+                at,
+                lambda a=action, node=by_name[name]: node.apply_lifecycle(a),
+            )
         submissions: Tuple[Submission, ...] = ()
         if scenario.traffic is not None:
             # Open-loop client traffic: the schedule is compiled up
@@ -634,7 +873,6 @@ class ProtocolRun:
             submissions = scenario.traffic.compile_submissions(
                 scenario.node_names(), scenario.seed, scenario.duration
             )
-            by_name = {node.name: node for node in nodes}
             for sub in submissions:
                 sim.schedule_at(
                     sub.time,

@@ -57,6 +57,15 @@ class HyperledgerNode(BlockchainNode):
             self.ordering.start()
         self.set_timer(1.0 + 0.1 * int(self.name[1:]), ("hl-batch",))
 
+    def on_lifecycle_resume(self) -> None:
+        # ``on_start`` is not safely re-runnable here: ``ordering.start``
+        # is idempotent, so the watchdog that died with the old lifecycle
+        # epoch would never re-arm.  Restart it explicitly.
+        self.schedule_periodic_reads()
+        if self.ordering is not None:
+            self.ordering.restart()
+        self.set_timer(1.0 + 0.1 * int(self.name[1:]), ("hl-batch",))
+
     def on_timer(self, tag: Any) -> None:
         if self._maybe_periodic_read(tag):
             return

@@ -41,16 +41,26 @@ class RedBellyNode(BlockchainNode):
             collection_window=scenario.round_length / 4.0,
             pbft_timeout=scenario.round_length,
         )
+        #: Last round this replica's proposer timer ran (lifecycle resume
+        #: continues from the next one).
+        self._rb_round = -1
 
     def on_start(self) -> None:
         self.schedule_periodic_reads()
         self.set_timer(0.5, ("rb-round", 0))
+
+    def on_lifecycle_resume(self) -> None:
+        # Re-running ``on_start`` would re-propose round 0; continue
+        # from the round after the last one this replica proposed in.
+        self.schedule_periodic_reads()
+        self.set_timer(0.5, ("rb-round", self._rb_round + 1))
 
     def on_timer(self, tag: Any) -> None:
         if self._maybe_periodic_read(tag):
             return
         if isinstance(tag, tuple) and tag and tag[0] == "rb-round":
             round_id = tag[1]
+            self._rb_round = round_id
             if self.now < self.scenario.duration:
                 self.sb.propose(round_id, self.make_payload())
                 self.set_timer(self.scenario.round_length, ("rb-round", round_id + 1))

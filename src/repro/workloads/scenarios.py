@@ -46,6 +46,9 @@ __all__ = [
     "ProtocolScenario",
     "PartitionWindow",
     "ChurnEvent",
+    "CrashEvent",
+    "JoinEvent",
+    "EclipseEvent",
     "TrafficBurst",
     "AdversarialScenario",
     "ClientTrafficScenario",
@@ -123,6 +126,15 @@ class ProtocolScenario:
     #: Reconciliation round cadence (simulated seconds) when
     #: ``gossip="reconcile"``; ignored under flooding.
     recon_interval: float = 10.0
+    #: Fast-sync knobs (see :mod:`repro.net.sync`): blocks per BLOCKS
+    #: batch; per-request timeout and retry backoff base in simulated
+    #: seconds (0 derives both from ``channel_delta``); backoff ceiling;
+    #: attempts before a sync degrades to normal gossip.
+    sync_batch: int = 64
+    sync_timeout: float = 0.0
+    sync_backoff_base: float = 0.0
+    sync_backoff_cap: float = 30.0
+    sync_max_attempts: int = 6
 
     def __post_init__(self) -> None:
         self.validate()
@@ -170,6 +182,14 @@ class ProtocolScenario:
             )
         if self.recon_interval <= 0:
             raise ValueError("recon_interval must be positive")
+        if self.sync_batch < 1:
+            raise ValueError("sync_batch must be >= 1")
+        if self.sync_timeout < 0 or self.sync_backoff_base < 0:
+            raise ValueError("sync timing knobs must be >= 0 (0 = derived)")
+        if self.sync_backoff_cap <= 0:
+            raise ValueError("sync_backoff_cap must be positive")
+        if self.sync_max_attempts < 1:
+            raise ValueError("sync_max_attempts must be >= 1")
         if self.traffic is not None:
             self.traffic.validate()
 
@@ -208,6 +228,23 @@ class ProtocolScenario:
         from repro.net.channels import SynchronousChannel
 
         return SynchronousChannel(delta=self.channel_delta), {}
+
+    # -- node lifecycle ------------------------------------------------------
+
+    def lifecycle_schedule(self) -> Tuple[Tuple[float, str, str], ...]:
+        """``(time, action, node)`` lifecycle events, time-ordered.
+
+        Actions are the :meth:`repro.protocols.base.BlockchainNode
+        .apply_lifecycle` verbs: ``suspend``/``resume`` (churn),
+        ``crash``/``recover`` (lose RAM, replay the store, fast-sync),
+        ``join`` (a late replica comes online) and ``heal`` (an eclipse
+        victim fast-syncs).  The base scenario is fault-free: no events.
+        """
+        return ()
+
+    def initially_offline(self) -> frozenset:
+        """Nodes that start suspended (late joiners; none by default)."""
+        return frozenset()
 
     # -- storage knob -------------------------------------------------------
 
@@ -273,10 +310,12 @@ class PartitionWindow:
 class ChurnEvent:
     """Node ``node`` is offline from ``leave_at`` until ``rejoin_at``.
 
-    While offline every message to or from the node is lost — the node's
-    process keeps running (its timers fire) but it is cut off, which is
-    how crash-recovery churn looks to the rest of the network.
-    ``rejoin_at=None`` means the node never comes back.
+    While offline the node is suspended — its timers do not fire, it
+    produces no blocks, and every message to or from it is lost (the
+    channel-level :class:`~repro.net.faults.ChurnAdversary` still
+    filters, so in-flight traffic is counted as churn drops).  On
+    rejoin the node resumes with its pre-outage RAM state and fast-syncs
+    the gap.  ``rejoin_at=None`` means the node never comes back.
     """
 
     node: str
@@ -290,6 +329,87 @@ class ChurnEvent:
             raise ValueError("leave_at must be >= 0")
         if self.rejoin_at is not None and self.rejoin_at <= self.leave_at:
             raise ValueError("rejoin must happen after leave")
+
+    def window(self) -> Tuple[float, Optional[float]]:
+        return (self.leave_at, self.rejoin_at)
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Node ``node`` crashes at ``at`` and recovers at ``recover_at``.
+
+    A crash loses all in-RAM state (tree indices, orphan buffers, dedup
+    sets, mempool); recovery reopens the node's pluggable block store,
+    replays it into a fresh tree, and fast-syncs the gap from peers.
+    With the default in-memory store nothing survives, so recovery is a
+    full resync — the degenerate case, still correct.  Use a
+    :class:`ChurnEvent` with ``rejoin_at=None`` for crash-*stop*.
+    """
+
+    node: str
+    at: float
+    recover_at: float
+
+    def validate(self, node_names: Tuple[str, ...]) -> None:
+        if self.node not in node_names:
+            raise ValueError(f"crash references unknown node {self.node!r}")
+        if self.at < 0:
+            raise ValueError("crash time must be >= 0")
+        if self.recover_at <= self.at:
+            raise ValueError("recovery must happen after the crash")
+
+    def window(self) -> Tuple[float, Optional[float]]:
+        return (self.at, self.recover_at)
+
+
+@dataclass(frozen=True)
+class JoinEvent:
+    """Node ``node`` joins the network at ``at`` with an empty store.
+
+    The replica is registered from the start (the membership set is
+    static, matching the paper's Π) but stays suspended until ``at``:
+    no timers, no mining, no traffic.  On join it fast-syncs the whole
+    chain from its peers, then participates normally.
+    """
+
+    node: str
+    at: float
+
+    def validate(self, node_names: Tuple[str, ...]) -> None:
+        if self.node not in node_names:
+            raise ValueError(f"join references unknown node {self.node!r}")
+        if self.at < 0:
+            raise ValueError("join time must be >= 0")
+
+    def window(self) -> Tuple[float, Optional[float]]:
+        return (0.0, self.at)
+
+
+@dataclass(frozen=True)
+class EclipseEvent:
+    """Node ``node`` is eclipsed from ``start`` until ``heal_at``.
+
+    Unlike churn the victim keeps running — it mines on its own
+    diverging view while every message crossing its links is filtered
+    (:class:`~repro.net.faults.EclipseAdversary`).  At heal the filter
+    lifts and the victim fast-syncs the honest majority's chain.
+    ``heal_at=None`` never heals.
+    """
+
+    node: str
+    start: float
+    heal_at: Optional[float] = None
+
+    def validate(self, node_names: Tuple[str, ...]) -> None:
+        if self.node not in node_names:
+            raise ValueError(f"eclipse references unknown node {self.node!r}")
+        if self.start < 0:
+            raise ValueError("eclipse start must be >= 0")
+        if self.heal_at is not None and self.heal_at <= self.start:
+            raise ValueError("eclipse must heal after it starts")
+
+    def window(self) -> Tuple[float, Optional[float]]:
+        return (self.start, self.heal_at)
 
 
 @dataclass(frozen=True)
@@ -316,6 +436,9 @@ class AdversarialScenario(ProtocolScenario):
 
     partitions: Tuple[PartitionWindow, ...] = ()
     churn: Tuple[ChurnEvent, ...] = ()
+    crashes: Tuple[CrashEvent, ...] = ()
+    joins: Tuple[JoinEvent, ...] = ()
+    eclipses: Tuple[EclipseEvent, ...] = ()
     bursts: Tuple[TrafficBurst, ...] = ()
     selfish_nodes: Tuple[str, ...] = ()
     selfish_extra_delay: float = 15.0
@@ -325,8 +448,21 @@ class AdversarialScenario(ProtocolScenario):
         names = self.node_names()
         for partition in self.partitions:
             partition.validate(names)
-        for event in self.churn:
+        lifecycle = (*self.churn, *self.crashes, *self.joins, *self.eclipses)
+        for event in lifecycle:
             event.validate(names)
+        # One replica cannot be in two lifecycle states at once: its
+        # churn/crash/join/eclipse windows must not overlap each other.
+        by_node: Dict[str, List[Tuple[float, Optional[float]]]] = {}
+        for event in lifecycle:
+            by_node.setdefault(event.node, []).append(event.window())
+        for node, windows in by_node.items():
+            windows.sort(key=lambda w: w[0])
+            for (_s1, e1), (s2, _e2) in zip(windows, windows[1:]):
+                if e1 is None or s2 < e1:
+                    raise ValueError(
+                        f"overlapping lifecycle windows for node {node!r}"
+                    )
         for burst in self.bursts:
             burst.validate()
         for node in self.selfish_nodes:
@@ -350,7 +486,12 @@ class AdversarialScenario(ProtocolScenario):
         after the run through ``ProtocolRun.faults``).
         """
         from repro.net.channels import DelayedChannel, LossyChannel, SynchronousChannel
-        from repro.net.faults import ChurnAdversary, CompositeDrop, PartitionAdversary
+        from repro.net.faults import (
+            ChurnAdversary,
+            CompositeDrop,
+            EclipseAdversary,
+            PartitionAdversary,
+        )
 
         channel: Any = SynchronousChannel(delta=self.channel_delta)
         faults: Dict[str, Any] = {}
@@ -372,6 +513,15 @@ class AdversarialScenario(ProtocolScenario):
             )
             faults["churn"] = churn
             rules.append(churn)
+        if self.eclipses:
+            adversaries = tuple(
+                EclipseAdversary(
+                    victim=e.node, start_at=e.start, heal_at=e.heal_at
+                )
+                for e in self.eclipses
+            )
+            faults["eclipses"] = adversaries
+            rules.extend(adversaries)
         if rules:
             drop = rules[0] if len(rules) == 1 else CompositeDrop(rules=tuple(rules))
             channel = LossyChannel(inner=channel, should_drop=drop)
@@ -410,6 +560,32 @@ class AdversarialScenario(ProtocolScenario):
             )
             faults["selfish"] = channel
         return channel, faults
+
+    def lifecycle_schedule(self) -> Tuple[Tuple[float, str, str], ...]:
+        """Compile the fault structure into timed lifecycle actions.
+
+        Churn suspends/resumes (RAM survives the outage), crashes lose
+        RAM and recover from the store, joins bring an initially-offline
+        replica up, and eclipse heals trigger a fast-sync (the victim
+        was never suspended — only filtered).
+        """
+        events: List[Tuple[float, str, str]] = []
+        for e in self.churn:
+            events.append((e.leave_at, "suspend", e.node))
+            if e.rejoin_at is not None:
+                events.append((e.rejoin_at, "resume", e.node))
+        for c in self.crashes:
+            events.append((c.at, "crash", c.node))
+            events.append((c.recover_at, "recover", c.node))
+        for j in self.joins:
+            events.append((j.at, "join", j.node))
+        for ecl in self.eclipses:
+            if ecl.heal_at is not None:
+                events.append((ecl.heal_at, "heal", ecl.node))
+        return tuple(sorted(events))
+
+    def initially_offline(self) -> frozenset:
+        return frozenset(j.node for j in self.joins)
 
 
 def skewed_merits(n_nodes: int, exponent: float = 1.2, seed: int = 0) -> Tuple[float, ...]:
@@ -677,6 +853,42 @@ def adversarial_scenarios(n_nodes: int = 4, duration: float = 240.0) -> Dict[str
             mean_block_interval=16.0,
             bursts=(
                 TrafficBurst(at=duration * 0.3, duration=duration * 0.2, factor=6.0),
+            ),
+            metrics_interval=duration / 24,
+        ),
+        # Node-lifecycle presets (see repro.net.sync): a replica drops
+        # out of the run — losing RAM, joining late, or mining eclipsed
+        # on a stale view — and must end Strong-Prefix-consistent with
+        # the majority after fast-syncing the gap.
+        "crash-rejoin": AdversarialScenario(
+            name="crash-rejoin",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=12.0,
+            crashes=(
+                CrashEvent(
+                    node=names[-1], at=duration * 0.3, recover_at=duration * 0.6
+                ),
+            ),
+            metrics_interval=duration / 24,
+        ),
+        "late-join": AdversarialScenario(
+            name="late-join",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=12.0,
+            joins=(JoinEvent(node=names[-1], at=duration * 0.5),),
+            metrics_interval=duration / 24,
+        ),
+        "eclipse-heal": AdversarialScenario(
+            name="eclipse-heal",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=12.0,
+            eclipses=(
+                EclipseEvent(
+                    node=names[-1], start=duration * 0.25, heal_at=duration * 0.6
+                ),
             ),
             metrics_interval=duration / 24,
         ),

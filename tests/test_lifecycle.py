@@ -1,0 +1,248 @@
+"""Node-lifecycle fault injection: crash/rejoin, late join, eclipse-heal.
+
+Covers the scenario compilation (lifecycle events → timed actions), the
+churn-suspension regression the robustness issue demanded (a suspended
+node authors *nothing* inside its offline window), the three lifecycle
+presets ending Strong-Prefix-consistent with the majority view, and the
+bounded orphan parking with stale-orphan discard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.blocktree.block import GENESIS, make_block
+from repro.net import Network, Simulator, SynchronousChannel
+from repro.protocols.base import PassiveNode
+from repro.protocols.bitcoin import run_bitcoin
+from repro.protocols.classify import majority_view
+from repro.workloads.scenarios import (
+    AdversarialScenario,
+    ChurnEvent,
+    CrashEvent,
+    EclipseEvent,
+    JoinEvent,
+    ProtocolScenario,
+    adversarial_scenarios,
+)
+
+
+def preset(name: str, duration: float = 160.0, **overrides):
+    scenario = adversarial_scenarios(n_nodes=4, duration=duration)[name]
+    return dataclasses.replace(scenario, **overrides) if overrides else scenario
+
+
+def appends_by(run, node: str):
+    """(invocation time, op) for every append authored by ``node``."""
+    return [
+        (op.invocation.time, op) for op in run.history.appends() if op.proc == node
+    ]
+
+
+class TestLifecycleCompilation:
+    def test_crash_rejoin_schedule(self):
+        scenario = preset("crash-rejoin", duration=240.0)
+        assert scenario.lifecycle_schedule() == (
+            (72.0, "crash", "p3"),
+            (144.0, "recover", "p3"),
+        )
+        assert scenario.initially_offline() == frozenset()
+
+    def test_late_join_schedule_and_initial_offline(self):
+        scenario = preset("late-join", duration=240.0)
+        assert scenario.lifecycle_schedule() == ((120.0, "join", "p3"),)
+        assert scenario.initially_offline() == frozenset({"p3"})
+
+    def test_eclipse_heal_schedule_and_channel(self):
+        scenario = preset("eclipse-heal", duration=240.0)
+        assert scenario.lifecycle_schedule() == ((144.0, "heal", "p3"),)
+        _channel, faults = scenario.build_channel()
+        (eclipse,) = faults["eclipses"]
+        assert eclipse.victim == "p3"
+        assert (eclipse.start_at, eclipse.heal_at) == (60.0, 144.0)
+
+    def test_churn_compiles_to_suspend_resume(self):
+        schedule = preset("node-churn", duration=240.0).lifecycle_schedule()
+        assert ("suspend" in {a for _, a, _ in schedule}) and (
+            "resume" in {a for _, a, _ in schedule}
+        )
+        assert schedule == tuple(sorted(schedule))
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            CrashEvent(node="p0", at=10.0, recover_at=5.0).validate(("p0",))
+        with pytest.raises(ValueError):
+            JoinEvent(node="p9", at=10.0).validate(("p0", "p1"))
+        with pytest.raises(ValueError):
+            EclipseEvent(node="p0", start=10.0, heal_at=10.0).validate(("p0",))
+
+    def test_overlapping_lifecycle_windows_rejected(self):
+        with pytest.raises(ValueError, match="overlapping lifecycle"):
+            AdversarialScenario(
+                name="clash",
+                n_nodes=3,
+                duration=100.0,
+                churn=(ChurnEvent(node="p2", leave_at=10.0, rejoin_at=60.0),),
+                crashes=(CrashEvent(node="p2", at=30.0, recover_at=80.0),),
+            )
+
+
+class TestChurnSuspension:
+    """The churn regression: an offline node is *suspended*, not merely
+    filtered — its timers stop, so it authors no blocks in the window."""
+
+    def test_no_blocks_authored_inside_churn_window(self):
+        scenario = preset("node-churn")
+        run = run_bitcoin(scenario)
+        assert run.faults["churn"].dropped > 0
+        for event in scenario.churn:
+            start, end = event.window()
+            end = scenario.duration if end is None else end
+            inside = [
+                t for t, _ in appends_by(run, event.node) if start <= t < end
+            ]
+            assert inside == []
+        # The churned nodes still mine outside their windows.
+        assert any(appends_by(run, e.node) for e in scenario.churn)
+
+    def test_suspended_node_converges_after_rejoin(self):
+        scenario = preset("node-churn")
+        run = run_bitcoin(scenario)
+        chains = run.final_chains()
+        view = majority_view(chains)
+        for event in scenario.churn:
+            assert chains[event.node].comparable(view)
+
+
+class TestCrashRejoin:
+    def test_crash_rejoin_preset_ends_consistent(self):
+        scenario = preset("crash-rejoin", mean_block_interval=8.0)
+        run = run_bitcoin(scenario)
+        (crash,) = scenario.crashes
+        chains = run.final_chains()
+        assert chains[crash.node].comparable(majority_view(chains))
+        assert chains[crash.node].height > 0
+        stats = run.sync_stats()
+        assert stats["totals"]["syncs_started"] >= 1
+        assert stats["per_node"][crash.node]["blocks_synced"] > 0
+        # Crash loses RAM: nothing is authored while down.
+        down = [
+            t
+            for t, _ in appends_by(run, crash.node)
+            if crash.at <= t < crash.recover_at
+        ]
+        assert down == []
+
+    def test_crash_recovers_tree_from_durable_store(self, tmp_path):
+        scenario = ProtocolScenario(
+            name="crash-store",
+            n_nodes=2,
+            duration=60.0,
+            store="log",
+            store_dir=str(tmp_path),
+        )
+        sim = Simulator(seed=5)
+        net = Network(sim, channel=SynchronousChannel(delta=scenario.channel_delta))
+        node, _peer = (
+            net.register(PassiveNode(name, scenario))
+            for name in scenario.node_names()
+        )
+        parent = GENESIS
+        for i in range(30):
+            parent = make_block(parent, label=f"d{i}")
+            node.adopt_block(parent, relay=False)
+        before = node.tree.freeze()
+        node.lifecycle_crash()
+        assert len(node.tree) == 1  # RAM gone: placeholder genesis tree
+        node.lifecycle_recover()
+        assert node.tree.freeze() == before  # replayed from the log
+
+    def test_crash_with_memory_store_recovers_empty(self):
+        scenario = ProtocolScenario(name="crash-mem", n_nodes=2, duration=60.0)
+        sim = Simulator(seed=5)
+        net = Network(sim, channel=SynchronousChannel(delta=scenario.channel_delta))
+        node, _peer = (
+            net.register(PassiveNode(name, scenario))
+            for name in scenario.node_names()
+        )
+        node.adopt_block(make_block(GENESIS, label="x"), relay=False)
+        node.lifecycle_crash()
+        node.lifecycle_recover()
+        # Nothing survives an in-memory store: full resync is the
+        # correct degenerate recovery.
+        assert len(node.tree) == 1
+        assert node.sync_totals["syncs_started"] >= 1
+
+
+class TestLateJoin:
+    def test_late_joiner_ends_consistent_and_silent_before_join(self):
+        scenario = preset("late-join", mean_block_interval=8.0)
+        run = run_bitcoin(scenario)
+        (join,) = scenario.joins
+        early = [t for t, _ in appends_by(run, join.node) if t < join.at]
+        assert early == []
+        chains = run.final_chains()
+        assert chains[join.node].height > 0
+        assert chains[join.node].comparable(majority_view(chains))
+        stats = run.sync_stats()
+        assert stats["per_node"][join.node]["syncs_started"] >= 1
+        assert stats["per_node"][join.node]["blocks_synced"] > 0
+
+
+class TestEclipseHeal:
+    def test_eclipse_bites_then_heals_consistent(self):
+        scenario = preset("eclipse-heal", mean_block_interval=8.0)
+        run = run_bitcoin(scenario)
+        (eclipse,) = scenario.eclipses
+        (fault,) = run.faults["eclipses"]
+        assert fault.dropped > 0  # the filter actually cut traffic
+        chains = run.final_chains()
+        assert chains[eclipse.node].comparable(majority_view(chains))
+        stats = run.sync_stats()
+        assert stats["per_node"][eclipse.node]["syncs_started"] >= 1
+
+
+class TestOrphanBounds:
+    def _node(self):
+        scenario = ProtocolScenario(name="orphans", n_nodes=2, duration=60.0)
+        sim = Simulator(seed=5)
+        net = Network(sim, channel=SynchronousChannel(delta=scenario.channel_delta))
+        nodes = [
+            net.register(PassiveNode(name, scenario))
+            for name in scenario.node_names()
+        ]
+        return nodes[0]
+
+    def test_parked_orphans_are_tracked_in_the_bound(self):
+        node = self._node()
+        parent = make_block(GENESIS, label="p")
+        child = make_block(parent, label="c")
+        assert not node.adopt_block(child, relay=False)  # parked: parent unknown
+        assert child.block_id in node._parked_ids
+        assert node.orphans[parent.block_id] == [child]
+        node.adopt_block(parent, relay=False)  # parent arrives: child drains
+        assert child.block_id in node.tree
+        assert node.orphans == {}
+
+    def test_evicted_orphans_are_discarded_not_retried(self):
+        node = self._node()
+        parent = make_block(GENESIS, label="p")
+        child = make_block(parent, label="c")
+        node.adopt_block(child, relay=False)
+        # Simulate the FIFO bound evicting the parked id long before the
+        # parent ever shows up: the body must be dropped, not retried
+        # forever.
+        node._parked_ids.discard(child.block_id)
+        node._discard_stale_orphans()
+        assert node.orphans == {}
+
+    def test_children_of_rejected_parents_are_discarded(self):
+        node = self._node()
+        parent = make_block(GENESIS, label="bad-parent")
+        child = make_block(parent, label="c")
+        node.adopt_block(child, relay=False)
+        node.rejected_blocks.add(parent.block_id)
+        node._discard_stale_orphans()
+        assert node.orphans == {}

@@ -159,6 +159,25 @@ class TestReconcileDissemination:
         assert wire_size(None) == 1
         assert wire_size(("ab", 1)) > wire_size(("ab",))
 
+    def test_block_wire_bytes_matches_generic_recursion(self):
+        """Block.wire_bytes (the analytic fast path) must equal what the
+        generic dataclass-field recursion would have computed."""
+        import dataclasses as dc
+
+        from repro.blocktree.block import GENESIS, make_block
+
+        samples = [
+            GENESIS,
+            make_block(GENESIS, label="plain"),
+            make_block(GENESIS, label="txs", payload=("t1", "t2xx"), creator=3),
+            make_block(GENESIS, payload=(1, 2.5, None, ("nested", 7)), nonce=9),
+        ]
+        for block in samples:
+            generic = 4 + sum(
+                wire_size(getattr(block, f.name)) for f in dc.fields(block)
+            )
+            assert block.wire_bytes() == generic
+
 
 class TestPartitionHealRepair:
     """Theorem 4.7 in reverse: forward-once flooding severed by a

@@ -15,9 +15,11 @@ import pytest
 
 from repro.blocktree import BlockTree, LongestChain, PrunePolicy, make_block
 from repro.blocktree.block import GENESIS
+from repro.net import Network, Simulator, SynchronousChannel
+from repro.protocols.base import PassiveNode
 from repro.storage import AppendOnlyLogStore, StoreError
 from repro.storage.logstore import _HEAD, _MAGIC
-from repro.workloads.scenarios import TreeScenario
+from repro.workloads.scenarios import ProtocolScenario, TreeScenario
 
 SCENARIO = TreeScenario(name="crash", n_blocks=2000, fork_rate=0.06, fork_window=5)
 KILL_AT = 1312  # an arbitrary mid-scenario block index
@@ -171,4 +173,66 @@ def test_unflushed_tail_may_be_lost_but_prefix_survives(tmp_path):
     store.close()
     reopened = AppendOnlyLogStore(path)
     assert len(reopened) >= 30
+    reopened.close()
+
+
+def _sync_crash_run(tmp_path, crash_at, recover_at, n_blocks=60):
+    """A late joiner on a durable log store fast-syncing ``n_blocks``,
+    optionally crashing mid-RANGE and recovering from its own log."""
+    scenario = ProtocolScenario(
+        name="sync-crash",
+        n_nodes=2,
+        duration=200.0,
+        store="log",
+        store_dir=str(tmp_path),
+        sync_batch=8,
+    )
+    sim = Simulator(seed=9)
+    net = Network(sim, channel=SynchronousChannel(delta=scenario.channel_delta))
+    server, client = (
+        net.register(PassiveNode(name, scenario)) for name in scenario.node_names()
+    )
+    fill = TreeScenario(name="sync-fill", n_blocks=n_blocks, fork_rate=0.05)
+    for block in fill.blocks():
+        server.tree.add_block(block)
+    client.offline = True
+    net.start()
+    sim.schedule_at(2.0, client.lifecycle_join)
+    at_crash = {}
+    if crash_at is not None:
+
+        def crash():
+            at_crash["blocks"] = len(client.tree) - 1  # minus genesis
+            client.lifecycle_crash()
+
+        sim.schedule_at(crash_at, crash)
+        sim.schedule_at(recover_at, client.lifecycle_recover)
+    sim.run(until=200.0)
+    return server, client, at_crash
+
+
+def test_crash_mid_sync_resumes_byte_identical(tmp_path):
+    """Kill the syncing replica between RANGE batches, reopen its log
+    store, and let the resumed sync finish: the final tree must be
+    byte-identical to an uninterrupted sync of the same scenario."""
+    oracle_server, oracle, _ = _sync_crash_run(
+        tmp_path / "uninterrupted", crash_at=None, recover_at=None
+    )
+    assert oracle.tree.freeze() == oracle_server.tree.freeze()
+
+    # With delta=1 and batch=8, batches land every 2s from t≈6: t=9.5
+    # falls squarely between RANGE responses — a mid-sync crash.
+    server, client, at_crash = _sync_crash_run(
+        tmp_path / "crashed", crash_at=9.5, recover_at=20.0
+    )
+    assert 0 < at_crash["blocks"] < 60  # the sync really was in flight
+    assert client.sync_totals["syncs_started"] >= 2  # join + post-recovery
+    assert client.sync_totals["syncs_completed"] >= 1
+    assert client.tree.freeze() == server.tree.freeze()
+    assert client.tree.freeze() == oracle.tree.freeze()
+    # The durable log carried the pre-crash prefix across the restart
+    # and kept absorbing the resumed sync.
+    client.tree._store.flush()
+    reopened = AppendOnlyLogStore(str(tmp_path / "crashed" / "p1.btlog"))
+    assert len(reopened) == 60
     reopened.close()

@@ -1,0 +1,87 @@
+"""Property tests for the frontier diff (:mod:`repro.net.sync`).
+
+Hypothesis generates random block-tree pairs — a full tree and a
+downward-closed subset the "client" already holds, optionally with
+client-private forks the server has never seen — and checks the DIFF
+round-trip invariant: shipping ``missing_ids(server, frontier(client))``
+in order leaves the client holding exactly the union, with every batch
+prefix orphan-free.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocktree.block import GENESIS, make_block
+from repro.blocktree.tree import BlockTree
+from repro.net.sync import frontier_of, known_ids, missing_ids
+
+# A random tree shape: block i attaches to parents[i] (an index < i, or
+# -1 for genesis).  A parallel list of booleans marks the blocks the
+# client already holds; downward-closure is enforced during build.
+shapes = st.integers(min_value=1, max_value=40).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.integers(min_value=-1, max_value=n - 1), min_size=n, max_size=n
+        ).map(lambda ps: [min(p, i - 1) for i, p in enumerate(ps)]),
+        st.lists(st.booleans(), min_size=n, max_size=n),
+        st.integers(min_value=0, max_value=3),  # client-private fork length
+    )
+)
+
+
+def build_pair(parents, held, private_len):
+    server, client = BlockTree(), BlockTree()
+    blocks = []
+    client_has = []
+    for i, parent_idx in enumerate(parents):
+        parent = GENESIS if parent_idx < 0 else blocks[parent_idx]
+        block = make_block(parent, label=f"b{i}")
+        blocks.append(block)
+        server.add_block(block)
+        # Downward-closed holding: the client holds block i only if it
+        # also holds block i's parent.
+        has = held[i] and (parent_idx < 0 or client_has[parent_idx])
+        client_has.append(has)
+        if has:
+            client.add_block(block)
+    # Client-private blocks the server never saw (a local mini-fork).
+    parent = GENESIS
+    for j in range(private_len):
+        parent = make_block(parent, label=f"private{j}")
+        client.add_block(parent)
+    return server, client
+
+
+@given(shapes)
+@settings(max_examples=120, deadline=None)
+def test_diff_round_trip_reaches_the_union(shape):
+    server, client = build_pair(*shape)
+    before = set(client.iter_ids())
+    shipped = missing_ids(server, frontier_of(client))
+    # Exactness: the server ships what the client lacks, nothing it has.
+    assert set(shipped) == set(server.iter_ids()) - before
+    # Orphan-freedom: adopting in order never parks a block.
+    for block_id in shipped:
+        assert client.add_block(server.get(block_id))
+    assert set(client.iter_ids()) == set(server.iter_ids()) | before
+
+
+@given(shapes)
+@settings(max_examples=60, deadline=None)
+def test_known_ids_is_sound(shape):
+    server, client = build_pair(*shape)
+    # Soundness: everything the server infers the client knows, the
+    # client really holds — an over-estimate would lose blocks.
+    known = known_ids(server, frontier_of(client))
+    assert known <= set(client.iter_ids())
+
+
+@given(shapes)
+@settings(max_examples=60, deadline=None)
+def test_second_diff_after_sync_is_empty(shape):
+    server, client = build_pair(*shape)
+    for block_id in missing_ids(server, frontier_of(client)):
+        client.add_block(server.get(block_id))
+    assert missing_ids(server, frontier_of(client)) == []
