@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-campaign bench-mempool bench-gossip bench-sync bench-check bench-all docs-test campaign
+.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-campaign bench-mempool bench-gossip bench-sync bench-scale bench-check bench-all docs-test campaign
 
 ## Tier-1: the full unit/property/differential suite (fast, no benches).
 test:
@@ -61,6 +61,14 @@ bench-gossip:
 ## BENCH_sync.json.  Override the gap with BENCH_SYNC_GAP.
 bench-sync:
 	$(PYTHON) -m pytest benchmarks/test_bench_sync.py -q \
+		--benchmark-disable
+
+## Large-N simulator gates (calendar queue ≥5× events/s vs the retained
+## heap flood at N=10k, bounded bytes/node, propagation percentiles on
+## four sparse overlays, 1k-node serial≡parallel campaign cell),
+## emitting BENCH_scale.json.  Override the scale with BENCH_SCALE_N.
+bench-scale:
+	$(PYTHON) -m pytest benchmarks/test_bench_scale.py -q \
 		--benchmark-disable
 
 ## Validate every committed BENCH_*.json against the registered schemas

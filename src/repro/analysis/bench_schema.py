@@ -68,6 +68,13 @@ SCHEMAS: Dict[str, Dict[str, type]] = {
         "lifecycle_matrix": dict,
         "determinism": dict,
     },
+    "BENCH_scale.json": {
+        "bench": object,
+        "events_per_sec": dict,
+        "memory": dict,
+        "propagation": list,
+        "campaign_1k": dict,
+    },
 }
 
 

@@ -108,6 +108,15 @@ class CampaignGrid:
     #: reconciliation).  Applied to *all* cells including baselines, so a
     #: reconcile grid's baseline is the reconcile reference run.
     gossip: str = "flood"
+    #: Overlay topology for every cell (see :mod:`repro.net.overlay`):
+    #: ``"full"`` keeps the historical clique and stays byte-identical
+    #: to pre-overlay grids; sparse kinds route all gossip/reconcile/
+    #: sync traffic through overlay neighbours.  Applied to all cells,
+    #: baselines included, so a sparse grid's baseline is the sparse
+    #: reference run.
+    topology: str = "full"
+    #: Per-node link budget for sparse topologies; ignored by ``full``.
+    topology_degree: int = 8
 
     def __post_init__(self) -> None:
         unknown = set(self.protocols) - set(PROTOCOLS)
@@ -132,6 +141,14 @@ class CampaignGrid:
                 f"unknown gossip transport {self.gossip!r}; "
                 "expected 'flood' or 'reconcile'"
             )
+        from repro.net.overlay import TOPOLOGY_KINDS
+
+        if self.topology not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; expected one of {TOPOLOGY_KINDS}"
+            )
+        if self.topology_degree < 2:
+            raise ValueError("topology_degree must be >= 2")
 
     def size(self) -> int:
         return len(self.protocols) * len(self.scenarios) * len(self.seeds)
@@ -190,6 +207,12 @@ class CampaignGrid:
                 preset = self.preset_scenario(protocol, scenario_name)
                 if self.gossip != "flood":
                     preset = replace(preset, gossip=self.gossip)
+                if self.topology != "full":
+                    preset = replace(
+                        preset,
+                        topology=self.topology,
+                        topology_degree=self.topology_degree,
+                    )
                 for index, base_seed in enumerate(self.seeds):
                     scenario = preset
                     baseline = base_seed is None

@@ -16,11 +16,13 @@ consistency benches compare against
 
 All prefix decisions go through the retained tuple-walking algebra of
 :mod:`repro.blocktree.reference`, so this module exercises none of the
-ancestry index it is the oracle for.  The fast checkers delegate to this
-module on their (rare) failure paths, which makes their failing
-:class:`PropertyCheck` verdicts — witnesses included — byte-identical to
-the reference by construction; the differential tests additionally
-assert equality on the success paths.
+ancestry index it is the oracle for.  Block Validity and Eventual
+Prefix delegate to this module on their (rare) failure paths, making
+their failing :class:`PropertyCheck` verdicts — witnesses included —
+byte-identical by construction; Strong Prefix re-derives this module's
+canonical witness through a class-collapsed scan instead (see
+``properties._strong_prefix_witness``), and the differential tests
+assert equality on both the failure and success paths.
 """
 
 from __future__ import annotations

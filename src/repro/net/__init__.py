@@ -15,6 +15,18 @@ demonstrated by switching adversaries on and off.
 """
 
 from repro.net.simulator import Simulator
+from repro.net.reference_queue import HeapSimulator
+from repro.net.overlay import (
+    TOPOLOGY_KINDS,
+    FullOverlay,
+    GeoClusteredOverlay,
+    Overlay,
+    RingOverlay,
+    SkipGraphOverlay,
+    SmallWorldOverlay,
+    build_overlay,
+    components,
+)
 from repro.net.channels import (
     DROP,
     AsynchronousChannel,
@@ -37,6 +49,16 @@ from repro.net.reconcile import (
 
 __all__ = [
     "Simulator",
+    "HeapSimulator",
+    "Overlay",
+    "FullOverlay",
+    "RingOverlay",
+    "SmallWorldOverlay",
+    "GeoClusteredOverlay",
+    "SkipGraphOverlay",
+    "build_overlay",
+    "components",
+    "TOPOLOGY_KINDS",
     "ChannelModel",
     "SynchronousChannel",
     "AsynchronousChannel",

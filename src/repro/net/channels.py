@@ -44,13 +44,15 @@ DROP = _Drop()
 class ChannelModel:
     """Interface: decide the delivery delay (or loss) of one message."""
 
+    __slots__ = ()
+
     def delay(
         self, src: str, dst: str, message: Any, rng: random.Random, now: float
     ) -> Union[float, _Drop]:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class SynchronousChannel(ChannelModel):
     """Delivery within ``[min_delay, delta]`` — synchronous channels."""
 
@@ -61,7 +63,7 @@ class SynchronousChannel(ChannelModel):
         return rng.uniform(self.min_delay, self.delta)
 
 
-@dataclass
+@dataclass(slots=True)
 class AsynchronousChannel(ChannelModel):
     """Exponential delays — unbounded, hence asynchronous.
 
@@ -75,7 +77,7 @@ class AsynchronousChannel(ChannelModel):
         return rng.expovariate(1.0 / self.mean)
 
 
-@dataclass
+@dataclass(slots=True)
 class WeaklySynchronousChannel(ChannelModel):
     """Partial synchrony: arbitrary (exponential) before the GST ``gst``,
     bounded by ``delta`` afterwards."""
@@ -91,7 +93,7 @@ class WeaklySynchronousChannel(ChannelModel):
         return rng.uniform(self.min_delay, self.delta)
 
 
-@dataclass
+@dataclass(slots=True)
 class DelayedChannel(ChannelModel):
     """Wrap a base channel with a selective extra delay.
 
@@ -117,7 +119,7 @@ class DelayedChannel(ChannelModel):
         return base
 
 
-@dataclass
+@dataclass(slots=True)
 class LossyChannel(ChannelModel):
     """Wrap a base channel with a message-loss predicate.
 

@@ -8,6 +8,14 @@ enforced per ordered pair by clamping delivery times.  Crash-stop and
 Byzantine behaviours are modelled by :meth:`Network.crash` and by
 subclassing :class:`SimProcess` with arbitrary logic, respectively.
 
+Connectivity is an :class:`~repro.net.overlay.Overlay`: ``broadcast``
+reaches a node's overlay neighbours, not the whole membership.  The
+default (``overlay=None``) is the legacy complete graph, byte-identical
+to the pre-overlay behaviour.  At scale, membership is *lazy* —
+:meth:`Network.register_factory` records how to build a node without
+building it, and the node materialises on first delivery — so a 50k-name
+simulation where 1k nodes act allocates O(active) node state.
+
 Every process owns a :class:`~repro.histories.builder.HistoryRecorder`
 reference (shared, network-wide) through which it records BT-ADT
 operations and the §4.2 replica events.
@@ -15,10 +23,11 @@ operations and the §4.2 replica events.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.histories.builder import HistoryRecorder
 from repro.net.channels import DROP, ChannelModel, SynchronousChannel
+from repro.net.overlay import Overlay
 from repro.net.simulator import Simulator
 
 __all__ = ["SimProcess", "Network"]
@@ -31,7 +40,13 @@ class SimProcess:
     :meth:`on_timer`.  Helper methods ``send``, ``broadcast`` and
     ``set_timer`` are available once the process is registered with a
     :class:`Network`.
+
+    The base state lives in ``__slots__`` (part of the large-N hot-class
+    sweep); subclasses may still declare ad-hoc attributes — they get a
+    ``__dict__`` of their own unless they opt into slots too.
     """
+
+    __slots__ = ("name", "network", "crashed", "offline", "lifecycle_epoch", "__weakref__")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -64,10 +79,19 @@ class SimProcess:
         self.network.transmit(self.name, dst, message)
 
     def broadcast(self, message: Any, include_self: bool = False) -> None:
-        """Send ``message`` to every process (optionally also to self)."""
-        for other in self.network.process_names():
-            if include_self or other != self.name:
-                self.send(other, message)
+        """Send ``message`` to every overlay neighbour (optionally to self).
+
+        On the default full overlay this reaches every other process —
+        the legacy semantics.  On a sparse overlay it reaches direct
+        neighbours only; network-wide dissemination is then the gossip
+        layer's job (relay on first receipt), and consensus protocols
+        that assume all-to-all vote delivery require the full overlay.
+        """
+        targets = self.network.neighbors_of(self.name)
+        if include_self:
+            targets = sorted((*targets, self.name))
+        for other in targets:
+            self.send(other, message)
 
     def set_timer(self, delay: float, tag: Any) -> None:
         """Schedule :meth:`on_timer` after ``delay``.
@@ -99,7 +123,7 @@ class SimProcess:
 
 
 class Network:
-    """The complete-graph network connecting processes via a channel model."""
+    """The network connecting processes via a channel model and overlay."""
 
     def __init__(
         self,
@@ -107,12 +131,19 @@ class Network:
         channel: Optional[ChannelModel] = None,
         recorder: Optional[HistoryRecorder] = None,
         fifo: bool = True,
+        overlay: Optional[Overlay] = None,
     ) -> None:
         self.simulator = simulator
         self.channel = channel or SynchronousChannel()
         self.recorder = recorder or HistoryRecorder()
         self.fifo = fifo
+        #: ``None`` means the legacy complete graph.
+        self.overlay = overlay
         self.processes: Dict[str, SimProcess] = {}
+        #: Names registered lazily: built by their factory on first use.
+        self._factories: Dict[str, Callable[[str], SimProcess]] = {}
+        self._names_cache: Optional[Sequence[str]] = None
+        self._started = False
         self._last_delivery: Dict[tuple, float] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
@@ -122,30 +153,92 @@ class Network:
 
     def register(self, process: SimProcess) -> SimProcess:
         """Add ``process`` to the network."""
-        if process.name in self.processes:
+        if process.name in self.processes or process.name in self._factories:
             raise ValueError(f"duplicate process name {process.name!r}")
         process.network = self
         self.processes[process.name] = process
+        self._names_cache = None
         return process
 
-    def process_names(self) -> List[str]:
-        """All registered process names, sorted for determinism."""
-        return sorted(self.processes)
+    def register_factory(self, name: str, factory: Callable[[str], SimProcess]) -> None:
+        """Register ``name`` without building its process.
+
+        ``factory(name)`` runs on first touch — first message delivery,
+        or an explicit :meth:`node` call — and its ``on_start`` fires at
+        that moment if the network has already started.  Nodes that are
+        never touched are never allocated, so resident state scales with
+        *active* nodes, not registered names.
+        """
+        if name in self.processes or name in self._factories:
+            raise ValueError(f"duplicate process name {name!r}")
+        self._factories[name] = factory
+        self._names_cache = None
+
+    def node(self, name: str) -> SimProcess:
+        """The process named ``name``, materialising it if still lazy."""
+        proc = self.processes.get(name)
+        if proc is None:
+            proc = self._materialize(name)
+        return proc
+
+    def _materialize(self, name: str) -> SimProcess:
+        factory = self._factories.pop(name)
+        proc = factory(name)
+        if proc.name != name:
+            raise ValueError(f"factory for {name!r} built {proc.name!r}")
+        proc.network = self
+        self.processes[name] = proc
+        if self._started:
+            proc.on_start()
+        return proc
+
+    def process_names(self) -> Sequence[str]:
+        """All registered names (lazy ones included), sorted, cached."""
+        if self._names_cache is None:
+            if self._factories:
+                names = list(self.processes)
+                names.extend(self._factories)
+                names.sort()
+            else:
+                names = sorted(self.processes)
+            self._names_cache = tuple(names)
+        return self._names_cache
+
+    def neighbors_of(self, name: str) -> Sequence[str]:
+        """The names ``name``'s broadcasts reach (overlay neighbours)."""
+        if self.overlay is None:
+            return [n for n in self.process_names() if n != name]
+        return self.overlay.neighbors(name)
 
     def correct_processes(self) -> List[str]:
-        """Names of processes that have not crashed."""
-        return [n for n in self.process_names() if not self.processes[n].crashed]
+        """Names of processes that have not crashed.
+
+        A still-lazy node has done nothing, so it cannot have crashed —
+        it counts as correct without being materialised.
+        """
+        processes = self.processes
+        return [
+            n
+            for n in self.process_names()
+            if n not in processes or not processes[n].crashed
+        ]
 
     def start(self) -> None:
-        """Invoke every process's ``on_start`` at time 0."""
+        """Invoke every *materialised* process's ``on_start`` at time 0.
+
+        Lazy registrations keep their ``on_start`` for the moment they
+        materialise — waking 50k nodes at t=0 would defeat laziness.
+        """
+        self._started = True
         for name in self.process_names():
-            proc = self.processes[name]
-            self.simulator.schedule(0.0, proc.on_start)
+            proc = self.processes.get(name)
+            if proc is not None:
+                self.simulator.schedule(0.0, proc.on_start)
 
     def crash(self, name: str, at: float = 0.0) -> None:
         """Crash-stop ``name`` at simulated time ``at``."""
         def do_crash() -> None:
-            self.processes[name].crashed = True
+            self.node(name).crashed = True
 
         self.simulator.schedule_at(max(at, self.simulator.now), do_crash)
 
@@ -157,27 +250,29 @@ class Network:
         if sender.crashed or sender.offline:
             return
         self.messages_sent += 1
-        delay = self.channel.delay(src, dst, message, self.simulator.rng, self.simulator.now)
+        simulator = self.simulator
+        delay = self.channel.delay(src, dst, message, simulator.rng, simulator.now)
         if delay is DROP:
             self.messages_dropped += 1
             return
-        deliver_at = self.simulator.now + delay
+        deliver_at = simulator.now + delay
         if self.fifo:
             key = (src, dst)
             floor = self._last_delivery.get(key, 0.0)
             deliver_at = max(deliver_at, floor + 1e-9)
             self._last_delivery[key] = deliver_at
+        simulator.schedule_call(deliver_at, self._deliver, src, dst, message)
 
-        def deliver() -> None:
-            target = self.processes[dst]
-            if target.crashed:
-                return
-            if target.offline:
-                # The wire delivered but nobody is listening: an offline
-                # replica loses in-flight traffic (it catches up via sync).
-                self.messages_dropped += 1
-                return
-            self.messages_delivered += 1
-            target.on_message(src, message)
-
-        self.simulator.schedule_at(deliver_at, deliver)
+    def _deliver(self, src: str, dst: str, message: Any) -> None:
+        target = self.processes.get(dst)
+        if target is None:
+            target = self._materialize(dst)
+        if target.crashed:
+            return
+        if target.offline:
+            # The wire delivered but nobody is listening: an offline
+            # replica loses in-flight traffic (it catches up via sync).
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        target.on_message(src, message)

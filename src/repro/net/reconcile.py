@@ -216,7 +216,8 @@ class GossipTransport:
         self.node.send(dst, message)
 
     def _broadcast(self, message: Any) -> None:
-        self._account(message, copies=max(0, len(self.node.network.processes) - 1))
+        net = self.node.network
+        self._account(message, copies=len(net.neighbors_of(self.node.name)))
         self.node.broadcast(message)
 
     def stats(self) -> Dict[str, Any]:
@@ -296,7 +297,9 @@ class ReconcileTransport(GossipTransport):
 
     @property
     def _peers(self) -> List[str]:
-        return [n for n in self.node.network.process_names() if n != self.node.name]
+        # Reconciliation partners are overlay neighbours: sketches only
+        # help against peers we would otherwise flood.
+        return list(self.node.network.neighbors_of(self.node.name))
 
     def on_start(self) -> None:
         # Deterministic per-node stagger so the fleet's rounds interleave

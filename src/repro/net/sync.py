@@ -236,11 +236,9 @@ class SyncManager:
         return self.state in ("frontier", "range")
 
     def _peers(self) -> List[str]:
-        return [
-            name
-            for name in self.node.network.process_names()
-            if name != self.node.name
-        ]
+        # Sync servers are overlay neighbours — a joining node can only
+        # talk to peers it has links to.
+        return list(self.node.network.neighbors_of(self.node.name))
 
     def _peer(self) -> Optional[str]:
         peers = self._peers()

@@ -829,6 +829,7 @@ class ProtocolRun:
         channel: Optional[ChannelModel] = None,
         configure: Optional[Callable[[Network, List[BlockchainNode]], None]] = None,
         settle: float = 120.0,
+        sim_cls: Type[Simulator] = Simulator,
     ) -> "ProtocolRun":
         """Build, run and package a protocol simulation.
 
@@ -840,13 +841,13 @@ class ProtocolRun:
         converging, which is the declared future used by the liveness
         checkers.
         """
-        sim = Simulator(seed=scenario.seed)
+        sim = sim_cls(seed=scenario.seed)
         faults: Dict[str, Any] = {}
         if channel is None:
             # The scenario compiles its own fault structure (partitions,
             # churn, selfish withholding) into the channel stack.
             channel, faults = scenario.build_channel()
-        net = Network(sim, channel=channel)
+        net = Network(sim, channel=channel, overlay=scenario.build_overlay())
         nodes = [
             net.register(node_cls(name, scenario)) for name in scenario.node_names()
         ]

@@ -126,6 +126,14 @@ class ProtocolScenario:
     #: Reconciliation round cadence (simulated seconds) when
     #: ``gossip="reconcile"``; ignored under flooding.
     recon_interval: float = 10.0
+    #: Overlay topology nodes gossip over (see :mod:`repro.net.overlay`):
+    #: ``"full"`` (the historical clique, byte-identical to pre-overlay
+    #: runs), ``"ring"``, ``"small-world"``, ``"geo"`` or
+    #: ``"skip-graph"``.  Consensus protocols that broadcast votes
+    #: require ``"full"``; gossip-dissemination protocols run on any.
+    topology: str = "full"
+    #: Per-node link budget for sparse topologies; ignored by ``full``.
+    topology_degree: int = 8
     #: Fast-sync knobs (see :mod:`repro.net.sync`): blocks per BLOCKS
     #: batch; per-request timeout and retry backoff base in simulated
     #: seconds (0 derives both from ``channel_delta``); backoff ceiling;
@@ -182,6 +190,14 @@ class ProtocolScenario:
             )
         if self.recon_interval <= 0:
             raise ValueError("recon_interval must be positive")
+        from repro.net.overlay import TOPOLOGY_KINDS
+
+        if self.topology not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; expected one of {TOPOLOGY_KINDS}"
+            )
+        if self.topology_degree < 2:
+            raise ValueError("topology_degree must be >= 2")
         if self.sync_batch < 1:
             raise ValueError("sync_batch must be >= 1")
         if self.sync_timeout < 0 or self.sync_backoff_base < 0:
@@ -228,6 +244,26 @@ class ProtocolScenario:
         from repro.net.channels import SynchronousChannel
 
         return SynchronousChannel(delta=self.channel_delta), {}
+
+    def build_overlay(self):
+        """The :class:`~repro.net.overlay.Overlay` for this scenario.
+
+        ``None`` for ``topology="full"``: the network's legacy all-pairs
+        path is then taken verbatim, keeping historical runs
+        byte-identical.  Sparse topologies derive deterministically from
+        ``(seed, topology, degree)`` so a cell's overlay replays
+        bit-for-bit.
+        """
+        if self.topology == "full":
+            return None
+        from repro.net.overlay import build_overlay
+
+        return build_overlay(
+            self.topology,
+            self.node_names(),
+            seed=derive_seed(self.seed, "overlay", self.topology),
+            degree=self.topology_degree,
+        )
 
     # -- node lifecycle ------------------------------------------------------
 

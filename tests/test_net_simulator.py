@@ -147,6 +147,109 @@ class TestEveryDrift:
         assert times == [2.5, 3.0, 3.5, 4.0]
 
 
+class TestTimerWheelBoundaries:
+    """Re-arming across calendar-bucket boundaries (the PR-4 drift bug
+    class, now at wheel granularity).
+
+    Recurring timers slot into the calendar buckets; a re-arm that lands
+    exactly on a bucket edge (tick time == an integer multiple of the
+    bucket width) must neither double-fire, skip, nor land one bucket
+    early from float division noise.
+    """
+
+    def test_ticks_landing_exactly_on_bucket_edges(self):
+        # width=1.0 and interval=0.5: every second tick hits an edge.
+        sim = Simulator(bucket_width=1.0)
+        times = []
+        sim.every(0.5, lambda: times.append(sim.now), until=20.0)
+        sim.run()
+        assert times == [(k + 1) * 0.5 for k in range(40)]
+
+    def test_interval_equal_to_bucket_width(self):
+        # Every tick is an edge: tick n sits at the first slot of bucket n.
+        sim = Simulator(bucket_width=1.0)
+        times = []
+        sim.every(1.0, lambda: times.append(sim.now), until=50.0)
+        sim.run()
+        assert times == [float(k + 1) for k in range(50)]
+
+    def test_interval_larger_than_bucket_skips_buckets(self):
+        # Re-arm jumps whole buckets; empty buckets must not fire or stall.
+        sim = Simulator(bucket_width=1.0)
+        times = []
+        sim.every(3.5, lambda: times.append(sim.now), until=35.0)
+        sim.run()
+        assert times == [(k + 1) * 3.5 for k in range(10)]
+
+    def test_rearm_into_current_bucket_preserves_order(self):
+        # A tick whose successor lands in the *same* bucket exercises the
+        # sorted-insert path; interleaved one-shot events at identical
+        # times must still run in insertion order.
+        sim = Simulator(bucket_width=10.0)
+        log = []
+        sim.every(1.0, lambda: log.append(("tick", sim.now)), until=5.0)
+        for t in (1.0, 2.0, 3.0, 4.0, 5.0):
+            sim.schedule_at(t, lambda t=t: log.append(("shot", t)))
+        sim.run()
+        # At t=1.0 the tick holds the older sequence number (armed before
+        # the shots), so it fires first; every later tick is re-armed
+        # *during* the run and draws a fresh sequence number, putting it
+        # after the pre-scheduled shot at the same instant — exactly the
+        # heap oracle's tie-break, preserved by the sorted-insert path.
+        expected = [("tick", 1.0), ("shot", 1.0)]
+        expected += [p for t in (2.0, 3.0, 4.0, 5.0) for p in (("shot", t), ("tick", t))]
+        assert log == expected
+
+    def test_drift_free_across_10k_bucket_edges(self):
+        # 0.1 interval, 0.1 bucket width: every tick is an edge and the
+        # fl(n * 0.1) landing rule must survive all 10k of them.
+        sim = Simulator(bucket_width=0.1)
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        sim.every(0.1, tick, until=1000.0)
+        sim.run()
+        assert count == 10_000
+        assert sim.now == 1000.0
+
+
+class TestRunUntilAtScale:
+    """``run(until=...)`` boundary semantics with a 10k-node-sized load."""
+
+    N = 10_000
+
+    def test_until_boundary_with_10k_pending_timers(self):
+        sim = Simulator()
+        fired = []
+        # One staggered timer per simulated node, crossing many buckets.
+        for i in range(self.N):
+            sim.schedule_at(i * 0.01, lambda i=i: fired.append(i))
+        horizon = (self.N // 2) * 0.01
+        executed = sim.run(until=horizon)
+        # Every timer at or before the horizon fired, in order, and the
+        # clock sits exactly at the horizon with the rest still queued.
+        assert executed == self.N // 2 + 1  # timers 0 .. N/2 inclusive
+        assert fired == list(range(self.N // 2 + 1))
+        assert sim.now == horizon
+        assert sim.pending() == self.N - executed
+        sim.run()
+        assert fired == list(range(self.N))
+
+    def test_max_events_freeze_then_resume_at_scale(self):
+        sim = Simulator()
+        for i in range(self.N):
+            sim.schedule_at(float(i), lambda: None)
+        assert sim.run(until=float(self.N), max_events=self.N // 4) == self.N // 4
+        # Budget exhausted with events pending: clock must freeze at the
+        # last executed event, not jump to ``until``.
+        assert sim.now == float(self.N // 4 - 1)
+        assert sim.run(until=float(self.N)) == self.N - self.N // 4
+        assert sim.now == float(self.N)
+
+
 class TestChannels:
     def test_synchronous_bounded(self):
         sim = Simulator(seed=1)
