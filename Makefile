@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-campaign bench-mempool bench-gossip bench-sync bench-scale bench-check bench-all docs-test campaign
+.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-campaign bench-mempool bench-gossip bench-sync bench-scale bench-shard bench-check bench-all docs-test campaign
 
 ## Tier-1: the full unit/property/differential suite (fast, no benches).
 test:
@@ -69,6 +69,15 @@ bench-sync:
 ## emitting BENCH_scale.json.  Override the scale with BENCH_SCALE_N.
 bench-scale:
 	$(PYTHON) -m pytest benchmarks/test_bench_scale.py -q \
+		--benchmark-disable
+
+## Sharding gates (K-sweep aggregate throughput ≥0.7× linear at K=8,
+## zero cross-shard atomicity violations under partition/churn/crash on
+## both transports, K=1 byte-identity vs the single-chain pipeline,
+## serial-vs-parallel shard campaigns), emitting BENCH_shard.json.
+## Override the horizon with BENCH_SHARD_DURATION.
+bench-shard:
+	$(PYTHON) -m pytest benchmarks/test_bench_shard.py -q \
 		--benchmark-disable
 
 ## Validate every committed BENCH_*.json against the registered schemas

@@ -75,6 +75,13 @@ SCHEMAS: Dict[str, Dict[str, type]] = {
         "propagation": list,
         "campaign_1k": dict,
     },
+    "BENCH_shard.json": {
+        "bench": object,
+        "scaling": list,
+        "atomicity": list,
+        "identity": dict,
+        "determinism": dict,
+    },
 }
 
 

@@ -34,26 +34,24 @@ def run_cell(cell: CampaignCell) -> CellResult:
         os.makedirs(scenario.store_dir, exist_ok=True)
     run = RUNNERS[cell.protocol](scenario)
     row = classify_run(cell.protocol, run)
-    chains = run.final_chains()
+    # Sharded runs expose shard_stats (per-shard throughput + the
+    # composed cross-shard atomicity verdict); single-chain runs don't.
+    shard_stats = getattr(run, "shard_stats", None)
     return CellResult(
         protocol=cell.protocol,
         scenario=cell.scenario_name,
         seed_index=cell.seed_index,
         seed=scenario.seed,
         row=row,
-        node_heights=tuple(
-            (name, chain.height) for name, chain in sorted(chains.items())
-        ),
-        node_fork_degrees=tuple(
-            (node.name, node.tree.max_fork_degree())
-            for node in sorted(run.nodes, key=lambda n: n.name)
-        ),
+        node_heights=tuple(run.node_heights()),
+        node_fork_degrees=tuple(run.node_fork_degrees()),
         samples=tuple(tuple(sample) for sample in run.samples),
         events=run.events_executed,
         unknown_append_resolutions=run.unknown_append_resolutions(),
         wall_clock_s=run.wall_clock_s,
         mempool=run.mempool_stats() or None,
         sync=run.sync_stats() or None,
+        shard=shard_stats() if shard_stats is not None else None,
     )
 
 

@@ -32,7 +32,13 @@ from repro.workloads.scenarios import (
     default_scenarios,
 )
 
-__all__ = ["PROTOCOLS", "SCENARIO_PRESETS", "CampaignCell", "CampaignGrid"]
+__all__ = [
+    "PROTOCOLS",
+    "SCENARIO_PRESETS",
+    "SHARD_SCENARIO_PRESETS",
+    "CampaignCell",
+    "CampaignGrid",
+]
 
 #: The seven Table 1 systems, in the paper's row order.
 PROTOCOLS: Tuple[str, ...] = (
@@ -64,6 +70,16 @@ SCENARIO_PRESETS: Tuple[str, ...] = (
     "eclipse-heal",
     "client-steady",
     "spam-flood",
+)
+
+#: Sharded-pipeline presets (``repro.shard``): K=4 shard facets per
+#: replica with 5% cross-shard two-phase transfers.  Valid grid axes,
+#: but *not* part of the default grid — sharded execution is
+#: Bitcoin-only, so a grid selecting them must restrict ``protocols``
+#: to ``("bitcoin",)``.
+SHARD_SCENARIO_PRESETS: Tuple[str, ...] = (
+    "shard-uniform",
+    "shard-hot",
 )
 
 
@@ -122,9 +138,17 @@ class CampaignGrid:
         unknown = set(self.protocols) - set(PROTOCOLS)
         if unknown:
             raise ValueError(f"unknown protocols {sorted(unknown)}")
-        unknown = set(self.scenarios) - set(SCENARIO_PRESETS)
+        unknown = (
+            set(self.scenarios) - set(SCENARIO_PRESETS) - set(SHARD_SCENARIO_PRESETS)
+        )
         if unknown:
             raise ValueError(f"unknown scenario presets {sorted(unknown)}")
+        sharded = set(self.scenarios) & set(SHARD_SCENARIO_PRESETS)
+        if sharded and set(self.protocols) != {"bitcoin"}:
+            raise ValueError(
+                f"shard presets {sorted(sharded)} run on bitcoin only; "
+                "restrict protocols=('bitcoin',)"
+            )
         if not self.protocols or not self.scenarios or not self.seeds:
             raise ValueError("grid axes must be non-empty")
         if self.n_nodes < 2:

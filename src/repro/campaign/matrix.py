@@ -70,6 +70,11 @@ class CellResult:
     #: whose scenario fires lifecycle events; None otherwise.  Same
     #: determinism contract as ``mempool``.
     sync: Optional[Dict[str, Any]] = None
+    #: Sharding measurements (``ShardedRun.shard_stats``) for cells with
+    #: ``shards > 1``: per-shard throughput plus the composed
+    #: cross-shard atomicity verdict.  None for single-chain cells.
+    #: Same determinism contract as ``mempool``.
+    shard: Optional[Dict[str, Any]] = None
 
     @property
     def cell_id(self) -> str:
@@ -94,6 +99,7 @@ class CellResult:
             "unknown_append_resolutions": self.unknown_append_resolutions,
             "mempool": self.mempool,
             "sync": self.sync,
+            "shard": self.shard,
         }
 
     def flat_dict(self) -> Dict[str, Any]:

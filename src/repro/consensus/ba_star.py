@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.consensus.relay import QuorumRelay
 from repro.crypto.hashing import hash_hex
 from repro.crypto.vrf import VRFKey, sortition_weight
 from repro.net.process import SimProcess
@@ -84,6 +85,20 @@ class BAStarComponent:
         self.max_attempts = max_attempts
         self.periods: Dict[Tuple[Any, int], _Period] = {}
         self.decided_instances: Dict[Any, Any] = {}
+        self.relay = QuorumRelay(host, tag="ba-relay", deliver=self._dispatch)
+
+    def _bcast(self, message: tuple) -> None:
+        """Committee-wide vote broadcast, self included.
+
+        One-hop on the full topology (byte-identical to historical
+        runs); relay-flooded over sparse overlays so votes from
+        non-adjacent members still count toward quorums.
+        """
+        if not self.relay.active:
+            self.host.broadcast(message, include_self=True)
+            return
+        self.relay.broadcast(message)
+        self.host.send(self.host.name, message)
 
     # -- sortition ------------------------------------------------------------
 
@@ -133,9 +148,7 @@ class BAStarComponent:
         period.proposal = value
         selected, priority = self._selected(instance_id, attempt, "proposer")
         if selected:
-            self.host.broadcast(
-                (PROPOSAL, instance_id, attempt, priority, value), include_self=True
-            )
+            self._bcast((PROPOSAL, instance_id, attempt, priority, value))
         self.host.set_timer(self.step_time, ("ba-soft", instance_id, attempt))
         self.host.set_timer(2 * self.step_time, ("ba-cert", instance_id, attempt))
         self.host.set_timer(3 * self.step_time, ("ba-next", instance_id, attempt))
@@ -154,10 +167,7 @@ class BAStarComponent:
                 selected, _ = self._selected(instance_id, attempt, "soft")
                 if selected:
                     digest = hash_hex("ba-digest", value)
-                    self.host.broadcast(
-                        (SOFTVOTE, instance_id, attempt, digest, value),
-                        include_self=True,
-                    )
+                    self._bcast((SOFTVOTE, instance_id, attempt, digest, value))
         elif kind == "ba-cert":
             # cert votes are emitted reactively in _on_soft when the quorum
             # arrives; this timer is only a liveness fence (no-op).
@@ -169,6 +179,11 @@ class BAStarComponent:
 
     def on_message(self, src: str, message: Any) -> bool:
         """Handle a BA* network message; True when consumed."""
+        if self.relay.on_message(src, message):
+            return True
+        return self._dispatch(src, message)
+
+    def _dispatch(self, src: str, message: Any) -> bool:
         if not (isinstance(message, tuple) and message):
             return False
         tag = message[0]
@@ -203,9 +218,7 @@ class BAStarComponent:
             selected, _ = self._selected(instance_id, attempt, "cert")
             if selected:
                 period.cert_sent = True
-                self.host.broadcast(
-                    (CERTVOTE, instance_id, attempt, digest, value), include_self=True
-                )
+                self._bcast((CERTVOTE, instance_id, attempt, digest, value))
 
     def _on_cert(
         self, src: str, instance_id: Any, attempt: int, digest: str, value: Any

@@ -21,8 +21,9 @@ behaviour with Strong Prefix).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.consensus.relay import QuorumRelay
 from repro.net.process import SimProcess
 
 __all__ = ["OrderingService", "OrderingClient"]
@@ -49,11 +50,16 @@ class OrderingService:
         cluster: List[str],
         on_deliver: Callable[[int, Any], None],
         timeout: float = 20.0,
+        relay: Optional[QuorumRelay] = None,
     ) -> None:
         self.host = host
         self.cluster = sorted(cluster)
         self.on_deliver = on_deliver
         self.timeout = timeout
+        #: Optional sparse-overlay relay (owned by the host so peers
+        #: outside the cluster still forward envelopes between
+        #: non-adjacent cluster members).
+        self.relay = relay
         self.term = 0
         self.next_seq = 0
         self.acks: Dict[Tuple[int, int], Set[str]] = {}
@@ -110,11 +116,20 @@ class OrderingService:
             self.host.send(self.leader, (SUBMIT, batch))
             self.unordered.append(batch)
 
+    def _bcast(self, message: tuple) -> None:
+        """Cluster-wide broadcast: one-hop on the full topology,
+        relay-flooded over sparse overlays."""
+        if self.relay is None or not self.relay.active:
+            self.host.broadcast(message, include_self=True)
+            return
+        self.relay.broadcast(message)
+        self.host.send(self.host.name, message)
+
     def _order(self, batch: Any) -> None:
         seq = self.next_seq
         self.next_seq += 1
         self.pending_order[seq] = batch
-        self.host.broadcast((ORDER, self.term, seq, batch), include_self=True)
+        self._bcast((ORDER, self.term, seq, batch))
 
     # -- message handling ---------------------------------------------------------
 
@@ -141,7 +156,7 @@ class OrderingService:
             votes.add(src)
             if len(votes) >= self.majority() and seq in self.pending_order:
                 batch = self.pending_order.pop(seq)
-                self.host.broadcast((DELIVER, term, seq, batch), include_self=True)
+                self._bcast((DELIVER, term, seq, batch))
             return True
         if tag == DELIVER:
             _t, term, seq, batch = message
@@ -181,9 +196,7 @@ class OrderingService:
         if term == self.term and marker == self._progress_marker:
             # No progress during a whole timeout in this term → vote next.
             new_term = self.term + 1
-            self.host.broadcast(
-                (TERMCHANGE, new_term, self.deliver_cursor), include_self=True
-            )
+            self._bcast((TERMCHANGE, new_term, self.deliver_cursor))
         self.host.set_timer(self.timeout, ("ord-watchdog", self.term, self._progress_marker))
         return True
 

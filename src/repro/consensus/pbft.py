@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.consensus.relay import QuorumRelay
 from repro.crypto.hashing import hash_hex
 from repro.net.process import SimProcess
 
@@ -94,6 +95,7 @@ class PBFTComponent:
         self.timeout = timeout
         self.byzantine_equivocate = byzantine_equivocate
         self.instances: Dict[Any, _Instance] = {}
+        self.relay = QuorumRelay(host, tag="pbft-relay", deliver=self._dispatch)
 
     # -- helpers -----------------------------------------------------------
 
@@ -107,7 +109,18 @@ class PBFTComponent:
         return self.peers[view % self.n]
 
     def _bcast(self, message: tuple) -> None:
-        self.host.broadcast(message, include_self=True)
+        """Committee-wide vote broadcast, self included.
+
+        On the full topology this is the classic one-hop all-to-all
+        (byte-identical to historical runs); with a sparse overlay the
+        vote is relay-flooded so non-adjacent committee members still
+        receive it (see :mod:`repro.consensus.relay`).
+        """
+        if not self.relay.active:
+            self.host.broadcast(message, include_self=True)
+            return
+        self.relay.broadcast(message)
+        self.host.send(self.host.name, message)
 
     def _arm_timer(self, instance_id: Any, view: int) -> None:
         self.host.set_timer(self.timeout, ("pbft-timeout", instance_id, view))
@@ -145,6 +158,11 @@ class PBFTComponent:
 
     def on_message(self, src: str, message: Any) -> bool:
         """Handle a network message; returns True when consumed."""
+        if self.relay.on_message(src, message):
+            return True
+        return self._dispatch(src, message)
+
+    def _dispatch(self, src: str, message: Any) -> bool:
         if not (isinstance(message, tuple) and message):
             return False
         tag = message[0]

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Set, Tuple
 
 from repro.consensus.pbft import PBFTComponent
+from repro.consensus.relay import QuorumRelay
 from repro.net.process import SimProcess
 
 __all__ = ["SuperblockComponent"]
@@ -56,18 +57,33 @@ class SuperblockComponent:
             on_decide=self._pbft_decided,
             timeout=pbft_timeout,
         )
+        self.relay = QuorumRelay(host, tag="sb-relay", deliver=self._on_proposal)
 
     # -- API -------------------------------------------------------------------
 
     def propose(self, round_id: Any, value: Any) -> None:
         """Submit this member's proposal for ``round_id``."""
-        self.host.broadcast((SB_PROPOSAL, round_id, value), include_self=True)
+        message = (SB_PROPOSAL, round_id, value)
+        if not self.relay.active:
+            self.host.broadcast(message, include_self=True)
+        else:
+            # Sparse overlay: relay-flood so non-adjacent members still
+            # collect this proposal (the superblock is a pure function
+            # of the collected set, so missing members would decide a
+            # different union).
+            self.relay.broadcast(message)
+            self.host.send(self.host.name, message)
         if round_id not in self.started:
             self.started.add(round_id)
             self.host.set_timer(self.collection_window, ("sb-assemble", round_id))
 
+    def _on_proposal(self, src: str, message: Any) -> None:
+        self.on_message(src, message)
+
     def on_message(self, src: str, message: Any) -> bool:
         """Handle proposals and the inner PBFT traffic."""
+        if self.relay.on_message(src, message):
+            return True
         if isinstance(message, tuple) and message and message[0] == SB_PROPOSAL:
             _tag, round_id, value = message
             self.collected.setdefault(round_id, {})[src] = value

@@ -54,6 +54,18 @@ class BlockPacker:
                 if not available:
                     ok = False
                     break
+            # Mint-freeness: an output the chain (or this payload)
+            # already mints would re-create an existing coin — e.g. a
+            # cross-shard decision whose rival landed first.
+            if ok:
+                for coin in tx.outputs:
+                    if (
+                        coin in view.minted
+                        or coin in view.genesis_coins
+                        or coin in payload_minted
+                    ):
+                        ok = False
+                        break
             if not ok:
                 continue
             payload.append(tx)

@@ -88,6 +88,7 @@ class Mempool:
         self.evicted = 0
         self.reaped = 0
         self.reorg_returns = 0
+        self.conflict_evicted = 0
         self.parked = 0
         self.unparked = 0
         self.parked_expired = 0
@@ -162,6 +163,7 @@ class Mempool:
             "evicted": self.evicted,
             "reaped": self.reaped,
             "reorg_returns": self.reorg_returns,
+            "conflict_evicted": self.conflict_evicted,
             "parked": self.parked,
             "unparked": self.unparked,
             "parked_expired": self.parked_expired,
@@ -410,6 +412,17 @@ class Mempool:
                 if now is not None and tx.tx_id not in self.committed_at:
                     self.committed_at[tx.tx_id] = now
                 committed_coins.extend(tx.outputs)
+        # A held transaction whose output a newly applied block already
+        # minted can never be packed on this branch again (it would
+        # re-mint the coin — e.g. a cross-shard COMMIT overtaken by the
+        # rival ABORT during a partition heal): drop it, keeping pool
+        # admissibility and packer validity in agreement.
+        if applied:
+            minted_now = set(committed_coins)
+            for tx in list(self._txs.values()):
+                if any(coin in minted_now for coin in tx.outputs):
+                    self._remove(tx.tx_id)
+                    self.conflict_evicted += 1
         # Parent-first re-admission so intra-reorg dependencies resolve;
         # a returned transaction whose input is unknown on the new
         # branch parks like any other orphan.

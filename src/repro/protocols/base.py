@@ -677,6 +677,25 @@ class ProtocolRun:
         """The widest fork observed on any replica."""
         return max(n.tree.max_fork_degree() for n in self.nodes)
 
+    def node_heights(self) -> List[Tuple[str, int]]:
+        """Every replica's final chain height, name-sorted."""
+        return [
+            (name, chain.height)
+            for name, chain in sorted(self.final_chains().items())
+        ]
+
+    def node_fork_degrees(self) -> List[Tuple[str, int]]:
+        """Every replica's widest observed fork, name-sorted.
+
+        Shared measurement surface with ``repro.shard.run.ShardedRun``
+        (whose replicas aggregate over facet trees), so the campaign
+        engine packages either run kind without reaching into ``.tree``.
+        """
+        return [
+            (node.name, node.tree.max_fork_degree())
+            for node in sorted(self.nodes, key=lambda n: n.name)
+        ]
+
     def storage_stats(self) -> Dict[str, Dict[str, int]]:
         """Per-node block-store lifecycle counters (``BlockTree.stats``)."""
         return {n.name: n.tree.stats() for n in self.nodes}
@@ -841,6 +860,11 @@ class ProtocolRun:
         converging, which is the declared future used by the liveness
         checkers.
         """
+        if scenario.shards > 1:
+            raise ValueError(
+                "sharded scenarios (shards > 1) run through "
+                "repro.shard.run.execute_sharded (bitcoin only)"
+            )
         sim = sim_cls(seed=scenario.seed)
         faults: Dict[str, Any] = {}
         if channel is None:

@@ -124,7 +124,16 @@ class BitcoinNode(BlockchainNode):
         self.on_gossip(src, message)
 
 
-def run_bitcoin(scenario: ProtocolScenario | None = None, **overrides) -> ProtocolRun:
-    """Run the Bitcoin model under ``scenario`` (defaults + overrides)."""
+def run_bitcoin(scenario: ProtocolScenario | None = None, **overrides):
+    """Run the Bitcoin model under ``scenario`` (defaults + overrides).
+
+    A scenario with ``shards > 1`` routes to the sharded executor
+    (:func:`repro.shard.run.execute_sharded`): one BitcoinNode facet per
+    subscribed shard on every replica, returning a ``ShardedRun``.
+    """
     scenario = scenario or ProtocolScenario(name="bitcoin", **overrides)
+    if scenario.shards > 1:
+        from repro.shard.run import execute_sharded
+
+        return execute_sharded(scenario)
     return ProtocolRun.execute(BitcoinNode, scenario)

@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.blocktree.block import Block, make_block
 from repro.consensus.pbft import PBFTComponent
+from repro.consensus.relay import QuorumRelay
 from repro.protocols.base import BlockchainNode, ProtocolRun
 from repro.workloads.scenarios import ProtocolScenario
 
@@ -53,6 +54,12 @@ class CommitteePoWNode(BlockchainNode):
             peers=list(scenario.node_names()),
             on_decide=self._on_commit,
             timeout=scenario.round_length,
+        )
+        # Candidates must reach the whole committee (the view primary
+        # proposes from its candidate pool); relay-flood them on sparse
+        # overlays, where one-hop broadcast only covers neighbours.
+        self._candidate_relay = QuorumRelay(
+            self, tag="candidate-relay", deliver=self.on_message
         )
 
     # -- candidate selection rule (ByzCoin: smallest digest) --------------------
@@ -107,7 +114,10 @@ class CommitteePoWNode(BlockchainNode):
         # Candidate dissemination is a §4.2 send (with loopback receive).
         args = (block.parent_id, block.block_id, self.creator_name(block))
         self.record_instant("send", args)
-        self.broadcast((CANDIDATE, height, block))
+        if not self._candidate_relay.active:
+            self.broadcast((CANDIDATE, height, block))
+        else:
+            self._candidate_relay.broadcast((CANDIDATE, height, block))
         self.record_instant("receive", args)
         self.received_marks.add(block.block_id)
         self._register_candidate(height, block)
@@ -143,6 +153,8 @@ class CommitteePoWNode(BlockchainNode):
 
     def on_message(self, src: str, message: Any) -> None:
         if self.on_gossip(src, message):
+            return
+        if self._candidate_relay.on_message(src, message):
             return
         if isinstance(message, tuple) and message and message[0] == CANDIDATE:
             _tag, height, block = message

@@ -20,6 +20,7 @@ from typing import Any
 
 from repro.blocktree.block import make_block
 from repro.consensus.ordering import DELIVER, OrderingService, SUBMIT
+from repro.consensus.relay import QuorumRelay
 from repro.protocols.base import BlockchainNode, ProtocolRun
 from repro.workloads.scenarios import ProtocolScenario
 
@@ -39,17 +40,28 @@ class HyperledgerNode(BlockchainNode):
         names = list(scenario.node_names())
         self.cluster = names[: min(ORDERER_COUNT, len(names))]
         self.is_orderer = name in self.cluster
+        # Every node (orderer or not) owns the relay so that, on a
+        # sparse overlay, peers sitting between non-adjacent cluster
+        # members still forward the ordering traffic.
+        self._ord_relay = QuorumRelay(
+            self, tag="ord-relay", deliver=self._on_relayed_order
+        )
         self.ordering = (
             OrderingService(
                 host=self,
                 cluster=self.cluster,
                 on_deliver=self._on_deliver,
                 timeout=scenario.round_length * 2,
+                relay=self._ord_relay,
             )
             if self.is_orderer
             else None
         )
         self.batch_counter = 0
+
+    def _on_relayed_order(self, origin: str, message: Any) -> None:
+        if self.ordering is not None:
+            self.ordering.on_message(origin, message)
 
     def on_start(self) -> None:
         self.schedule_periodic_reads()
@@ -107,6 +119,8 @@ class HyperledgerNode(BlockchainNode):
 
     def on_message(self, src: str, message: Any) -> None:
         if self.on_gossip(src, message):
+            return
+        if self._ord_relay.on_message(src, message):
             return
         if isinstance(message, tuple) and message:
             if message[0] == "hl-block":

@@ -1,0 +1,212 @@
+"""Composed cross-shard consistency: two-phase atomicity checking.
+
+The per-shard checkers (:mod:`repro.consistency`) judge each shard's
+history as an independent BT-ADT.  What they cannot see is the *composed*
+invariant of cross-shard transfers, checked here over the final
+majority-view chain of every shard:
+
+* **Decision uniqueness** — no transfer both COMMITs and ABORTs;
+* **Eventual decision** — no LOCK stays undecided once its expiry (plus
+  a settle grace) has passed: the timeout-driven abort guarantees a
+  stalled destination cannot wedge the source;
+* **Value conservation** — an aborted transfer is RELEASEd back on the
+  source (nothing destroyed), a committed one is not (nothing
+  duplicated: the escrow coin stays burned while the destination mints
+  the transferred coin), and no decision or release exists without its
+  LOCK (nothing minted from thin air).
+
+Everything below is a pure function of the chains — deterministic,
+replayable, usable on recorded runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, List, Optional, Tuple
+
+from repro.blocktree.chain import Chain
+from repro.shard.records import (
+    CONFIRM_DEPTH,
+    RELEASE_DEPTH,
+    XShardMeta,
+    parse_record,
+)
+
+__all__ = ["TransferState", "AtomicityReport", "check_atomicity"]
+
+
+@dataclass
+class TransferState:
+    """Everything the final chains say about one transfer id."""
+
+    tid: str
+    lock: Optional[XShardMeta] = None
+    lock_shard: Optional[int] = None
+    commit_shard: Optional[int] = None
+    abort_shard: Optional[int] = None
+    release_shard: Optional[int] = None
+    #: Depth of the LOCK / committed ABORT below their chain tip — how
+    #: far the settlement pipeline had progressed when the run ended.
+    lock_depth: Optional[int] = None
+    abort_depth: Optional[int] = None
+
+    @property
+    def decided(self) -> bool:
+        return self.commit_shard is not None or self.abort_shard is not None
+
+
+@dataclass
+class AtomicityReport:
+    """Outcome of the composed cross-shard check."""
+
+    violations: List[str] = field(default_factory=list)
+    counts: Dict[str, int] = field(default_factory=dict)
+    transfers: Dict[str, TransferState] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted transfers over decided transfers."""
+        decided = self.counts.get("commits", 0) + self.counts.get("aborts", 0)
+        return self.counts.get("aborts", 0) / decided if decided else 0.0
+
+
+def _scan(chains_by_shard: Dict[int, Chain]) -> Dict[str, TransferState]:
+    transfers: Dict[str, TransferState] = {}
+    for shard, chain in chains_by_shard.items():
+        tip = chain.height
+        for height, block in enumerate(chain.blocks):
+            for tx in block.payload:
+                meta = parse_record(tx)
+                if meta is None:
+                    continue
+                state = transfers.setdefault(meta.tid, TransferState(tid=meta.tid))
+                if meta.kind == "lock":
+                    state.lock = meta
+                    state.lock_shard = shard
+                    state.lock_depth = tip - height
+                elif meta.kind == "commit":
+                    state.commit_shard = shard
+                elif meta.kind == "abort":
+                    state.abort_shard = shard
+                    state.abort_depth = tip - height
+                elif meta.kind == "release":
+                    state.release_shard = shard
+    return transfers
+
+
+def check_atomicity(
+    chains_by_shard: Dict[int, Chain],
+    end_time: float,
+    grace: float = 0.0,
+    in_flight: AbstractSet[Tuple[str, str]] = frozenset(),
+) -> AtomicityReport:
+    """Judge the composed cross-shard invariant on final chains.
+
+    ``chains_by_shard`` holds each shard's majority-view chain at the
+    end of the run; ``end_time`` is the simulated end; ``grace`` excuses
+    transfers whose LOCK expired less than ``grace`` before the end
+    (their decision or release may legitimately still be in flight).
+
+    ``in_flight`` is evidence from the *live* replicas: ``(kind, tid)``
+    pairs of records a coordinator produced and still holds for mining
+    (see ``ShardedNode.in_flight_records``).  Mining stops at the
+    scenario duration, so a record queued behind a late-confirming LOCK
+    can miss the final block without any protocol fault — such
+    transfers count as ``pending``, not violations.  A transfer with
+    *no* on-chain decision, *no* queued record, and an expiry well in
+    the past is the genuine liveness violation this check exists to
+    catch.  Likewise an ABORT still shallower than the release
+    confirmation window (``RELEASE_DEPTH``) when the chains froze is
+    pending by design, not an unreleased escrow.
+    """
+    transfers = _scan(chains_by_shard)
+    report = AtomicityReport(transfers=transfers)
+    counts = {
+        "transfers": len(transfers),
+        "locks": 0,
+        "commits": 0,
+        "aborts": 0,
+        "releases": 0,
+        "pending": 0,
+    }
+
+    def flag(kind: str, state: TransferState) -> None:
+        report.violations.append(f"{kind}:{state.tid}")
+
+    for tid in sorted(transfers):
+        state = transfers[tid]
+        meta = state.lock
+        if state.lock_shard is not None:
+            counts["locks"] += 1
+        if state.commit_shard is not None:
+            counts["commits"] += 1
+        if state.abort_shard is not None:
+            counts["aborts"] += 1
+        if state.release_shard is not None:
+            counts["releases"] += 1
+        # Decision uniqueness: the UTXO rule (both decisions mint the
+        # same coin) makes a same-chain double impossible; a cross-chain
+        # double here means the shards disagree about the outcome.
+        if state.commit_shard is not None and state.abort_shard is not None:
+            flag("conflicting-decision", state)
+        # Conservation.
+        if state.commit_shard is not None and state.release_shard is not None:
+            flag("duplicated-value", state)
+        if state.release_shard is not None and state.abort_shard is None:
+            flag("release-without-abort", state)
+        # A decision/release can outlive its LOCK on the final chains
+        # when a deep fork (partition heal past CONFIRM_DEPTH) reorged
+        # the lock off the source chain: ``observe_chain`` re-pools it
+        # and it re-mines from the fee queue, so a lock still held in
+        # some replica's pool is a pending settlement, not value minted
+        # from thin air.
+        lock_repooled = ("lock", tid) in in_flight
+        if state.commit_shard is not None and state.lock_shard is None:
+            if lock_repooled:
+                counts["pending"] += 1
+            else:
+                flag("commit-without-lock", state)
+        if state.release_shard is not None and state.lock_shard is None:
+            if lock_repooled:
+                counts["pending"] += 1
+            else:
+                flag("release-without-lock", state)
+        # Routing: records must sit on the shard their metadata names.
+        if meta is not None and state.lock_shard is not None:
+            if state.lock_shard != meta.src_shard:
+                flag("misrouted-lock", state)
+        # Eventual decision / eventual release, with the settle grace.
+        if meta is None:
+            continue
+        expired_long_ago = meta.expiry + grace < end_time
+        if state.lock_shard is not None and not state.decided:
+            decision_queued = ("commit", tid) in in_flight or (
+                "abort",
+                tid,
+            ) in in_flight
+            # A LOCK the source chain itself had not confirmed when
+            # mining stopped never started the pipeline clock.
+            lock_unconfirmed = (
+                state.lock_depth is not None and state.lock_depth < CONFIRM_DEPTH
+            )
+            if expired_long_ago and not decision_queued and not lock_unconfirmed:
+                flag("undecided-lock", state)
+            else:
+                counts["pending"] += 1
+        if state.abort_shard is not None and state.release_shard is None:
+            release_queued = ("release", tid) in in_flight
+            # The release intentionally waits out the fork window.
+            within_fork_window = (
+                state.abort_depth is not None and state.abort_depth < RELEASE_DEPTH
+            )
+            if expired_long_ago and not release_queued and not within_fork_window:
+                flag("unreleased-abort", state)
+            else:
+                counts["pending"] += 1
+
+    report.counts = counts
+    return report

@@ -1,0 +1,171 @@
+"""Cross-shard two-phase transfer records carried in block payloads.
+
+A transfer of value from shard *src* to shard *dst* is four plain
+:class:`~repro.workloads.transactions.Transaction` bodies — no new
+block or payload type, so the existing mempool admission, packing and
+chain-validity machinery applies unchanged:
+
+``LOCK``     (src)  spends the sender's reserve coins into a single
+             escrow coin ``xlock-{tid}``, reserving the value.
+``COMMIT``   (dst)  mints the transferred coin *and* the decision coin
+             ``xdec-{tid}``.
+``ABORT``    (dst)  mints only ``xdec-{tid}``.
+``RELEASE``  (src)  spends ``xlock-{tid}`` back into a refund coin
+             after an abort.
+
+Uniqueness is enforced by UTXO rules rather than by a coordinator:
+both decisions mint the *same* coin ``xdec-{tid}``, so any single
+destination chain commits at most one of them (the packer and chain
+validator reject the second as a re-mint); ``RELEASE`` single-spends
+the escrow coin, so a transfer can never both commit and release on
+converged chains.  Every record is *derived deterministically from the
+LOCK alone*, so independently-acting replicas build byte-identical
+bodies (identical ``tx_id``) and pool-level dedup collapses them.
+
+The transfer id ``tid`` is a content hash of the LOCK's inputs, so
+record coin ids never collide across transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro._util import sha256_hex
+from repro.workloads.transactions import Transaction
+
+__all__ = [
+    "XShardMeta",
+    "make_lock",
+    "make_commit",
+    "make_abort",
+    "make_release",
+    "parse_record",
+    "COMMIT_FEE_BOOST",
+    "RECORD_FEE_PRIORITY",
+    "CONFIRM_DEPTH",
+    "RELEASE_DEPTH",
+]
+
+# Record-lifecycle confirmation policy, shared by the coordinator
+# (repro.shard.node) and the composed checker (repro.shard.atomicity):
+#: a record is acted on once it sits this deep below the facet tip;
+CONFIRM_DEPTH = 2
+#: a committed ABORT must be this deep before the source releases the
+#: escrow — deep reorgs flipping an abort into a commit after a release
+#: would duplicate value, so the release waits out the fork window.
+RELEASE_DEPTH = 4
+
+_LOCK = "xshard-lock"
+_COMMIT = "xshard-commit"
+_ABORT = "xshard-abort"
+_RELEASE = "xshard-release"
+
+# Decision and release records are *system* traffic: a transfer whose
+# decision languishes unmined is an atomicity violation waiting to
+# happen, so COMMIT/ABORT/RELEASE carry a fee far above any plausible
+# client fee — fee-priority packing mines them next block and
+# fee-ordered eviction never drops them from a saturated pool.  LOCKs
+# stay client-priced: an unmined LOCK simply aborts, costing nothing.
+RECORD_FEE_PRIORITY = 1000.0
+
+# COMMIT outbids ABORT by this margin so fee-priority packing resolves
+# a pool holding both decisions in favour of committing.
+COMMIT_FEE_BOOST = 1.0
+
+
+@dataclass(frozen=True)
+class XShardMeta:
+    """Decoded metadata of a cross-shard record transaction."""
+
+    kind: str  # "lock" | "commit" | "abort" | "release"
+    tid: str
+    src_shard: int
+    dst_shard: int
+    expiry: float
+    fee: float = 0.0
+
+
+def make_lock(
+    inputs: Sequence[str],
+    src_shard: int,
+    dst_shard: int,
+    expiry: float,
+    fee: float = 0.0,
+) -> Transaction:
+    """The source-shard LOCK reserving ``inputs`` until ``expiry``."""
+    ins = tuple(inputs)
+    if not ins:
+        raise ValueError("a LOCK must reserve at least one coin")
+    tid = sha256_hex("xshard", ins, src_shard, dst_shard, repr(expiry))[:24]
+    return Transaction.make(
+        inputs=ins,
+        outputs=(f"xlock-{tid}",),
+        issuer=f"{_LOCK}|{tid}|{src_shard}|{dst_shard}|{expiry!r}",
+        fee=fee,
+    )
+
+
+def _lock_meta(lock: Transaction) -> XShardMeta:
+    meta = parse_record(lock)
+    if meta is None or meta.kind != "lock":
+        raise ValueError(f"not a LOCK record: {lock.issuer!r}")
+    return meta
+
+
+def make_commit(lock: Transaction) -> Transaction:
+    """The destination-shard COMMIT finalizing ``lock``'s transfer.
+
+    Mints the transferred coin plus the decision coin; the fee boost
+    lets it win fee-priority races against a concurrently-held ABORT.
+    """
+    meta = _lock_meta(lock)
+    return Transaction.make(
+        inputs=(),
+        outputs=(f"xc-{meta.tid}-0", f"xdec-{meta.tid}"),
+        issuer=f"{_COMMIT}|{meta.tid}|{meta.src_shard}|{meta.dst_shard}|{meta.expiry!r}",
+        fee=lock.fee + RECORD_FEE_PRIORITY + COMMIT_FEE_BOOST,
+    )
+
+
+def make_abort(lock: Transaction) -> Transaction:
+    """The destination-shard ABORT declining ``lock``'s transfer."""
+    meta = _lock_meta(lock)
+    return Transaction.make(
+        inputs=(),
+        outputs=(f"xdec-{meta.tid}",),
+        issuer=f"{_ABORT}|{meta.tid}|{meta.src_shard}|{meta.dst_shard}|{meta.expiry!r}",
+        fee=lock.fee + RECORD_FEE_PRIORITY,
+    )
+
+
+def make_release(lock: Transaction) -> Transaction:
+    """The source-shard RELEASE refunding an aborted transfer."""
+    meta = _lock_meta(lock)
+    return Transaction.make(
+        inputs=(f"xlock-{meta.tid}",),
+        outputs=(f"xr-{meta.tid}-0",),
+        issuer=f"{_RELEASE}|{meta.tid}|{meta.src_shard}|{meta.dst_shard}|{meta.expiry!r}",
+        fee=lock.fee + RECORD_FEE_PRIORITY,
+    )
+
+
+def parse_record(tx: Transaction) -> Optional[XShardMeta]:
+    """Decode ``tx``'s cross-shard metadata, or None for ordinary txs."""
+    if not tx.issuer.startswith("xshard-"):
+        return None
+    parts = tx.issuer.split("|")
+    if len(parts) != 5:
+        return None
+    tag, tid, src, dst, expiry = parts
+    kind = tag[len("xshard-") :]
+    if kind not in ("lock", "commit", "abort", "release"):
+        return None
+    return XShardMeta(
+        kind=kind,
+        tid=tid,
+        src_shard=int(src),
+        dst_shard=int(dst),
+        expiry=float(expiry),
+        fee=tx.fee,
+    )

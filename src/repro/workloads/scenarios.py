@@ -38,7 +38,11 @@ from repro._util import prf_uint64
 from repro.blocktree.block import GENESIS, Block, make_block
 from repro.blocktree.tree import BlockTree, PrunePolicy
 from repro.storage import STORE_KINDS, BlockStore, open_store
-from repro.workloads.traffic import ClientTrafficScenario, traffic_presets
+from repro.workloads.traffic import (
+    ClientTrafficScenario,
+    shard_traffic_presets,
+    traffic_presets,
+)
 
 __all__ = [
     "GOSSIP_TAG",
@@ -143,6 +147,17 @@ class ProtocolScenario:
     sync_backoff_base: float = 0.0
     sync_backoff_cap: float = 30.0
     sync_max_attempts: int = 6
+    #: Shard count K (see :mod:`repro.shard`).  1 keeps the historical
+    #: single-chain pipeline byte-identical; K > 1 runs one BlockTree +
+    #: Mempool + UTXOView *facet* per subscribed shard on every replica,
+    #: with users hashed to shards and cross-shard transfers carried as
+    #: two-phase LOCK/COMMIT records in block payloads.
+    shards: int = 1
+    #: How many shards each replica subscribes to (bami-style
+    #: sub-community subscription): replica ``i`` hosts facets for
+    #: shards ``{(i + j) % K}``.  0 subscribes every replica to all
+    #: shards (full replication, the default).
+    shard_subscription: int = 0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -206,6 +221,25 @@ class ProtocolScenario:
             raise ValueError("sync_backoff_cap must be positive")
         if self.sync_max_attempts < 1:
             raise ValueError("sync_max_attempts must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_subscription < 0:
+            raise ValueError("shard_subscription must be >= 0")
+        if self.shards > 1:
+            if kind != "memory":
+                raise ValueError("sharded runs support the memory store only")
+            if self.prune_hot_cap:
+                raise ValueError("sharded runs do not support pruning")
+            if self.traffic is None:
+                raise ValueError("sharded runs need client traffic")
+            if self.traffic.shards != self.shards:
+                raise ValueError(
+                    f"traffic.shards={self.traffic.shards} disagrees with "
+                    f"scenario shards={self.shards}"
+                )
+            from repro.shard.assignment import validate_coverage
+
+            validate_coverage(self.node_names(), self.shards, self.shard_subscription)
         if self.traffic is not None:
             self.traffic.validate()
 
@@ -836,6 +870,7 @@ def adversarial_scenarios(n_nodes: int = 4, duration: float = 240.0) -> Dict[str
     half = n_nodes // 2
     names = tuple(f"p{i}" for i in range(n_nodes))
     presets = traffic_presets(duration)
+    shard_presets = shard_traffic_presets(duration, n_shards=4)
     return {
         "partition-heal": AdversarialScenario(
             name="partition-heal",
@@ -947,6 +982,28 @@ def adversarial_scenarios(n_nodes: int = 4, duration: float = 240.0) -> Dict[str
             duration=duration,
             mean_block_interval=12.0,
             traffic=presets["spam-flood"],
+            metrics_interval=duration / 24,
+        ),
+        # Sharded-pipeline presets (see repro.shard): K=4 shard facets
+        # per replica, 5% cross-shard two-phase transfers.  shard-hot
+        # drives one shard at 4× the per-shard rate with regionally
+        # skewed ingress — the hot-shard capacity stress.
+        "shard-uniform": AdversarialScenario(
+            name="shard-uniform",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=12.0,
+            shards=4,
+            traffic=shard_presets["shard-uniform"],
+            metrics_interval=duration / 24,
+        ),
+        "shard-hot": AdversarialScenario(
+            name="shard-hot",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=12.0,
+            shards=4,
+            traffic=shard_presets["shard-hot"],
             metrics_interval=duration / 24,
         ),
     }

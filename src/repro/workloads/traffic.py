@@ -32,6 +32,7 @@ __all__ = [
     "Submission",
     "ClientTrafficScenario",
     "traffic_presets",
+    "shard_traffic_presets",
 ]
 
 
@@ -57,6 +58,17 @@ class ClientTrafficScenario:
     ``spam_copies`` duplicates of a zero-fee double-spending
     transaction.  ``pool_capacity`` / ``min_fee`` configure the replica
     pools for runs driven by this traffic.
+
+    Sharded runs (``repro.shard``) add: ``cross_shard_fraction`` — the
+    probability a submission is a cross-shard LOCK instead of a local
+    batch; ``lock_timeout`` — how long a LOCK stays valid before the
+    destination shard must abort it; ``hot_shard``/``hot_weight`` — one
+    shard receiving ``hot_weight``× the per-shard arrival rate (the
+    hot-shard skew preset); ``xshard_coins`` — each client's reserve of
+    lockable coins.  ``shard``/``shards`` scope a *facet*'s view: when
+    ``shard >= 0``, :meth:`genesis_coins` returns only the coins of
+    clients hashing to that shard.  The defaults leave the single-chain
+    pipeline byte-identical.
     """
 
     name: str
@@ -73,6 +85,13 @@ class ClientTrafficScenario:
     spam_copies: int = 4
     pool_capacity: int = 1024
     min_fee: float = 0.0
+    cross_shard_fraction: float = 0.0
+    lock_timeout: float = 60.0
+    hot_shard: int = -1
+    hot_weight: float = 4.0
+    xshard_coins: int = 12
+    shard: int = -1  # -1 → unsharded view (all clients)
+    shards: int = 1
 
     def __post_init__(self) -> None:
         self.validate()
@@ -107,21 +126,59 @@ class ClientTrafficScenario:
             raise ValueError("pool_capacity must be >= 0")
         if self.min_fee < 0:
             raise ValueError("min_fee must be >= 0")
+        if not 0.0 <= self.cross_shard_fraction <= 1.0:
+            raise ValueError("cross_shard_fraction must be in [0, 1]")
+        if self.lock_timeout <= 0:
+            raise ValueError("lock_timeout must be positive")
+        if self.hot_weight <= 0:
+            raise ValueError("hot_weight must be positive")
+        if self.xshard_coins < 1:
+            raise ValueError("xshard_coins must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard < -1 or self.shard >= self.shards:
+            raise ValueError("shard must be -1 or in [0, shards)")
+        if self.hot_shard < -1 or self.hot_shard >= self.shards:
+            raise ValueError("hot_shard must be -1 or in [0, shards)")
 
     # -- coin universe -------------------------------------------------------
 
     def client_names(self) -> Tuple[str, ...]:
         return tuple(f"client{i}" for i in range(self.n_clients))
 
+    def clients_of_shard(self, shard: int) -> Tuple[str, ...]:
+        """The clients whose coins live on ``shard`` (PRF-hashed)."""
+        from repro.shard.assignment import shard_of_user
+
+        return tuple(
+            client
+            for client in self.client_names()
+            if shard_of_user(client, self.shards) == shard
+        )
+
     def genesis_coins(self) -> Tuple[str, ...]:
         """The union of every client's pre-minted coins.
 
         Replica pools and validators are seeded with this universe so
-        client transactions are chain-valid from the first block.
+        client transactions are chain-valid from the first block.  A
+        shard facet (``shard >= 0``) sees only the coins of clients
+        hashing to that shard, plus their cross-shard lock reserve when
+        the workload issues cross-shard transfers.
         """
+        if self.shard >= 0:
+            clients = self.clients_of_shard(self.shard)
+            if not clients:
+                raise ValueError(
+                    f"no client hashes to shard {self.shard} of {self.shards} "
+                    f"(n_clients={self.n_clients}); raise n_clients"
+                )
+        else:
+            clients = self.client_names()
         coins: List[str] = []
-        for client in self.client_names():
+        for client in clients:
             coins.extend(default_genesis_coins(self.coins_per_client, client))
+            if self.cross_shard_fraction > 0:
+                coins.extend(default_genesis_coins(self.xshard_coins, f"{client}.x"))
         if self.spam_rate:
             # The flood adversary owns its own namespace: spam never
             # consumes (or corrupts the lineage of) honest client coins.
@@ -216,6 +273,102 @@ class ClientTrafficScenario:
             tx = spammer.next_transaction()
         return (tx,) * self.spam_copies
 
+    # -- sharded schedule ----------------------------------------------------
+
+    def compile_shard_submissions(
+        self,
+        members: Dict[int, Tuple[str, ...]],
+        seed: int,
+        duration: float,
+    ) -> Dict[int, Tuple[Submission, ...]]:
+        """Per-shard deterministic submission schedules for one run.
+
+        ``members`` maps each shard id to the replicas subscribed to it
+        (submissions for a shard only enter subscribed replicas).
+        ``rate`` is interpreted *per shard*, so aggregate offered load
+        scales with the shard count; ``hot_shard`` receives
+        ``hot_weight``× that rate.  With probability
+        ``cross_shard_fraction`` an event is a single cross-shard LOCK
+        spending one coin from the issuing client's reserve, aimed at a
+        PRF-chosen other shard with ``expiry = now + lock_timeout``;
+        LOCK generation stops ``lock_timeout`` before the horizon so
+        every transfer can settle inside the run.
+        """
+        from repro.shard.records import make_lock
+
+        if self.spam_rate:
+            raise ValueError("spam traffic is single-shard only")
+        if set(members) != set(range(self.shards)):
+            raise ValueError(f"members must cover shards 0..{self.shards - 1}")
+        return {
+            k: self._compile_one_shard(k, members[k], seed, duration, make_lock)
+            for k in range(self.shards)
+        }
+
+    def _compile_one_shard(
+        self,
+        shard: int,
+        node_names: Tuple[str, ...],
+        seed: int,
+        duration: float,
+        make_lock,
+    ) -> Tuple[Submission, ...]:
+        if not node_names:
+            raise ValueError(f"shard {shard} has no subscribed replica")
+        clients = self.clients_of_shard(shard)
+        if not clients:
+            raise ValueError(
+                f"no client hashes to shard {shard} of {self.shards}; raise n_clients"
+            )
+        rng = random.Random(prf_uint64("shard-traffic", seed, self.name, shard))
+        generators = {
+            client: TransactionGenerator(
+                seed=prf_uint64("traffic-client", seed, self.name, client),
+                issuers=(client,),
+                fee_mean=self.fee_mean,
+                genesis_coins=default_genesis_coins(self.coins_per_client, client),
+            )
+            for client in clients
+        }
+        weights = self._ingress_weights(node_names)
+        horizon = self.until or duration
+        lock_horizon = horizon - self.lock_timeout
+        rate_scale = self.hot_weight if shard == self.hot_shard else 1.0
+        reserve_used = {client: 0 for client in clients}
+        events: List[Submission] = []
+        now = self.start
+        while True:
+            rate = self.rate_at(now) * rate_scale
+            now += rng.expovariate(rate / self.batch)
+            if now >= horizon:
+                break
+            client = clients[rng.randrange(len(clients))]
+            ingress = rng.choices(node_names, weights=weights, k=1)[0]
+            cross = (
+                self.shards > 1
+                and self.cross_shard_fraction > 0
+                and now < lock_horizon
+                and reserve_used[client] < self.xshard_coins
+                and rng.random() < self.cross_shard_fraction
+            )
+            if cross:
+                dst = rng.randrange(self.shards - 1)
+                if dst >= shard:
+                    dst += 1
+                coin = default_genesis_coins(self.xshard_coins, f"{client}.x")[
+                    reserve_used[client]
+                ]
+                reserve_used[client] += 1
+                fee = rng.expovariate(1.0 / self.fee_mean) if self.fee_mean > 0 else 0.0
+                lock = make_lock(
+                    (coin,), shard, dst, now + self.lock_timeout, fee=fee
+                )
+                txs: Tuple[Transaction, ...] = (lock,)
+            else:
+                txs = generators[client].batch(self.batch)
+            events.append(Submission(time=now, ingress=ingress, txs=txs))
+        return tuple(events)
+
 
 def traffic_presets(duration: float = 240.0) -> Dict[str, ClientTrafficScenario]:
     """The standard client workloads (steady / bursty / spam / skew).
@@ -240,5 +393,38 @@ def traffic_presets(duration: float = 240.0) -> Dict[str, ClientTrafficScenario]
         ),
         "regional-skew": ClientTrafficScenario(
             name="regional-skew", rate=2.0, ingress_skew=2.5
+        ),
+    }
+
+
+def shard_traffic_presets(
+    duration: float = 240.0, n_shards: int = 4
+) -> Dict[str, ClientTrafficScenario]:
+    """The sharded client workloads (uniform / hot-shard skew).
+
+    ``rate`` is per shard; ``lock_timeout`` is sized at 40% of the run
+    so it exceeds every lifecycle-preset outage window (a partitioned
+    destination heals before honest locks expire) while still letting
+    timeout-driven aborts fire inside the run when a destination shard
+    genuinely stalls.  ``shard-hot`` drives one shard at 4× the
+    per-shard rate with regionally-skewed ingress — the hot-shard
+    stress from the campaign presets.
+    """
+    n_clients = max(8, 4 * n_shards)
+    common = dict(
+        rate=2.0,
+        n_clients=n_clients,
+        cross_shard_fraction=0.05,
+        lock_timeout=duration * 0.4,
+        shards=n_shards,
+    )
+    return {
+        "shard-uniform": ClientTrafficScenario(name="shard-uniform", **common),
+        "shard-hot": ClientTrafficScenario(
+            name="shard-hot",
+            hot_shard=0,
+            hot_weight=4.0,
+            ingress_skew=2.5,
+            **common,
         ),
     }

@@ -173,6 +173,71 @@ class TestCampaignDeterminism:
         assert matrix.total_unknown_append_resolutions() == 0
 
 
+def shard_grid(**overrides):
+    spec = dict(
+        protocols=("bitcoin",),
+        scenarios=("shard-uniform", "shard-hot"),
+        seeds=(2024,),
+        n_nodes=4,
+        duration=120.0,
+    )
+    spec.update(overrides)
+    return CampaignGrid(**spec)
+
+
+class TestShardCampaign:
+    """The sharded presets as grid axes (see ``repro.shard``)."""
+
+    def test_shard_presets_are_bitcoin_only(self):
+        with pytest.raises(ValueError, match="bitcoin only"):
+            shard_grid(protocols=("bitcoin", "hyperledger"))
+
+    def test_serial_and_parallel_shard_stats_identical(self):
+        grid = shard_grid()
+        serial = run_campaign(grid)
+        parallel = run_campaign(grid, workers=2)
+        # The whole matrix — *including* every cell's shard stats,
+        # which carry the composed atomicity verdict — must fold
+        # identically regardless of worker count.
+        assert serial.to_dict(include_timing=False) == parallel.to_dict(
+            include_timing=False
+        )
+        for cell in serial.cells:
+            assert cell.shard is not None, cell.cell_id
+            assert cell.shard["shards"] == 4
+            assert cell.shard["atomicity"]["ok"], (
+                cell.cell_id,
+                cell.shard["atomicity"]["violations"],
+            )
+        # Non-vacuous: the grid actually exercised the two-phase path.
+        locks = sum(
+            c.shard["aggregate"]["cross_shard"]["locks"] for c in serial.cells
+        )
+        assert locks > 0
+
+    def test_cli_exposes_shard_presets(self, tmp_path, capsys):
+        json_path = tmp_path / "shard.json"
+        rc = campaign_main(
+            [
+                "--protocols", "bitcoin",
+                "--scenarios", "shard-uniform,shard-hot",
+                "--seeds", "baseline",
+                "--duration", "90",
+                "--workers", "1",
+                "--json", str(json_path),
+            ]
+        )
+        assert rc == 0
+        assert "shard-uniform" in capsys.readouterr().out
+        payload = json.loads(json_path.read_text())
+        assert {c["scenario"] for c in payload["cells"]} == {
+            "shard-uniform",
+            "shard-hot",
+        }
+        for cell in payload["cells"]:
+            assert cell["shard"]["atomicity"]["ok"]
+
+
 class TestSingleCellParity:
     def test_classify_protocol_is_the_single_cell_wrapper(self):
         scenario = replace(default_scenarios()["hyperledger"], **QUICK)

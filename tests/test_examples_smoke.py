@@ -13,6 +13,7 @@ FAST_EXAMPLES = [
     "model_checking_tour.py",
     "campaign_matrix.py",
     "mempool_throughput.py",
+    "shard_scaling.py",
 ]
 
 
@@ -38,6 +39,7 @@ def test_all_examples_present():
         "model_checking_tour.py",
         "campaign_matrix.py",
         "mempool_throughput.py",
+        "shard_scaling.py",
     }
     present = {p.name for p in EXAMPLES.glob("*.py")}
     assert expected <= present

@@ -147,6 +147,20 @@ class TestMempool:
         ids = {t.tx_id for t in pool.transactions()}
         assert ids == {parent.tx_id, child.tx_id}
 
+    def test_rival_mint_on_chain_evicts_held_conflict(self):
+        # Regression: an applied block minting a coin a pooled tx also
+        # mints (rival cross-shard decisions both mint xdec-{tid}) must
+        # evict the pooled tx — inputless records never trip the input
+        # checks, so mint-exclusion is the only thing that catches them.
+        pool = self.pool()
+        held = tx((), ("xdec-1",), fee=5.0)
+        pool.add_batch([held], chain=Chain.genesis())
+        rival = tx((), ("xdec-1", "xc-1"))
+        pool.observe_chain(block_chain([rival]), now=1.0)
+        assert held.tx_id not in pool
+        assert pool.conflict_evicted == 1
+        assert pool.stats()["conflict_evicted"] == 1
+
     def test_reap_on_commit_and_return_on_reorg(self):
         tree = BlockTree()
         t1 = tx(("g0",), ("x",))
@@ -267,6 +281,23 @@ class TestBlockPacker:
         pool.add_batch([parent, child], chain=chain)
         payload = BlockPacker(pool).pack(chain, limit=5)
         assert [t.tx_id for t in payload] == [parent.tx_id, child.tx_id]
+
+    def test_pack_skips_txs_reminting_existing_coins(self):
+        # Regression: the packed payload must be mint-free against the
+        # chain, the genesis set and the payload built so far — packing
+        # the lower-fee rival of an already-packed decision would
+        # re-create its coin.
+        pool = Mempool(genesis_coins=COINS)
+        chain = Chain.genesis()
+        winner = tx((), ("xdec-3",), fee=9.0)
+        rival = tx(("g0",), ("xdec-3",), fee=1.0)
+        regenesis = tx(("g1",), ("g2",), fee=5.0)
+        pool.add_batch([winner, rival, regenesis], chain=chain)
+        payload = BlockPacker(pool).pack(chain, limit=5)
+        ids = {t.tx_id for t in payload}
+        assert winner.tx_id in ids
+        assert rival.tx_id not in ids
+        assert regenesis.tx_id not in ids
 
     def test_limit_respected_and_priority_wins(self):
         pool = Mempool(genesis_coins=COINS)
