@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-campaign bench-mempool bench-gossip bench-sync bench-scale bench-shard bench-check bench-all docs-test campaign
+.PHONY: test bench-smoke bench-perf bench-consistency bench-storage bench-campaign bench-mempool bench-gossip bench-sync bench-scale bench-shard bench-auth bench-check bench-all docs-test campaign
 
 ## Tier-1: the full unit/property/differential suite (fast, no benches).
 test:
@@ -78,6 +78,16 @@ bench-scale:
 ## Override the horizon with BENCH_SHARD_DURATION.
 bench-shard:
 	$(PYTHON) -m pytest benchmarks/test_bench_shard.py -q \
+		--benchmark-disable
+
+## Authenticated-pipeline gates (signed tx/s within 2× of unsigned with
+## byte-identical chains, batched+cached verify ≥5× naive on a 50k gap,
+## zero forged/equivocating blocks leaking into honest chains across
+## transport × fault compositions, serial-vs-parallel auth campaigns),
+## emitting BENCH_auth.json.  Override the horizon with
+## BENCH_AUTH_DURATION.
+bench-auth:
+	$(PYTHON) -m pytest benchmarks/test_bench_auth.py -q \
 		--benchmark-disable
 
 ## Validate every committed BENCH_*.json against the registered schemas

@@ -58,8 +58,13 @@ def stable_repr(value: Any) -> bytes:
         return b"Z(" + inner + b")"
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         # Encode as class name + field items so distinct types never collide.
+        # A class may segregate witness fields (e.g. signatures, which must
+        # not perturb content ids) by listing them in ``_STABLE_REPR_EXCLUDE``.
+        exclude = getattr(type(value), "_STABLE_REPR_EXCLUDE", ())
         fields = tuple(
-            (f.name, getattr(value, f.name)) for f in dataclasses.fields(value)
+            (f.name, getattr(value, f.name))
+            for f in dataclasses.fields(value)
+            if f.name not in exclude
         )
         return b"C" + type(value).__name__.encode() + stable_repr(fields)
     raise TypeError(f"stable_repr does not support {type(value)!r}")

@@ -82,6 +82,13 @@ SCHEMAS: Dict[str, Dict[str, type]] = {
         "identity": dict,
         "determinism": dict,
     },
+    "BENCH_auth.json": {
+        "bench": object,
+        "throughput": dict,
+        "batch_verify": dict,
+        "forgery": list,
+        "determinism": dict,
+    },
 }
 
 

@@ -67,6 +67,13 @@ class Block:
     (measured in ``benchmarks/test_bench_consistency.py``).  The id
     strings are additionally interned at tree-insert time so every index
     map on every replica shares one string object per id.
+
+    ``signature`` is witness data (a ``repro.crypto.signatures.Signature``
+    over the content id when the scenario authenticates, else ``None``).
+    It is *segregated* from the content hash — ``_STABLE_REPR_EXCLUDE``
+    keeps it out of ``stable_repr`` so ``block_id`` commits to the same
+    bytes whether or not the block is signed, and signing never changes
+    an id (SegWit-style witness segregation).
     """
 
     block_id: str
@@ -76,6 +83,9 @@ class Block:
     creator: int | None = None
     nonce: int = 0
     weight: float = 1.0
+    signature: Any = None
+
+    _STABLE_REPR_EXCLUDE = ("signature",)
 
     @property
     def is_genesis(self) -> bool:
@@ -96,7 +106,11 @@ class Block:
         size += len(self.label) + 1
         size += _scalar_bytes(self.payload)
         size += 1 if self.creator is None else 8
-        return size + 16  # nonce + weight, 8 bytes each
+        size += 16  # nonce + weight, 8 bytes each
+        if self.signature is None:
+            return size + 1
+        # Signature dataclass: container header + signer + digest strings.
+        return size + 4 + len(self.signature.signer) + 1 + len(self.signature.digest) + 1
 
     def short(self) -> str:
         """Compact display form (label if present, else id prefix)."""

@@ -37,6 +37,7 @@ def run_cell(cell: CampaignCell) -> CellResult:
     # Sharded runs expose shard_stats (per-shard throughput + the
     # composed cross-shard atomicity verdict); single-chain runs don't.
     shard_stats = getattr(run, "shard_stats", None)
+    auth_stats = getattr(run, "auth_stats", None)
     return CellResult(
         protocol=cell.protocol,
         scenario=cell.scenario_name,
@@ -52,6 +53,7 @@ def run_cell(cell: CampaignCell) -> CellResult:
         mempool=run.mempool_stats() or None,
         sync=run.sync_stats() or None,
         shard=shard_stats() if shard_stats is not None else None,
+        auth=(auth_stats() or None) if auth_stats is not None else None,
     )
 
 

@@ -36,6 +36,7 @@ __all__ = [
     "PROTOCOLS",
     "SCENARIO_PRESETS",
     "SHARD_SCENARIO_PRESETS",
+    "AUTH_SCENARIO_PRESETS",
     "CampaignCell",
     "CampaignGrid",
 ]
@@ -80,6 +81,18 @@ SCENARIO_PRESETS: Tuple[str, ...] = (
 SHARD_SCENARIO_PRESETS: Tuple[str, ...] = (
     "shard-uniform",
     "shard-hot",
+)
+
+#: Authenticated-pipeline presets (``repro.crypto.auth``): signed blocks
+#: and transactions with one signature adversary per preset (see
+#: :data:`repro.protocols.byzantine.ADVERSARY_KINDS`).  Valid grid axes,
+#: but *not* part of the default grid — the adversaries are BitcoinNode
+#: subclasses, so a grid selecting them must restrict ``protocols`` to
+#: ``("bitcoin",)``.
+AUTH_SCENARIO_PRESETS: Tuple[str, ...] = (
+    "forged-signature",
+    "equivocating-signer",
+    "stolen-identity",
 )
 
 
@@ -139,7 +152,10 @@ class CampaignGrid:
         if unknown:
             raise ValueError(f"unknown protocols {sorted(unknown)}")
         unknown = (
-            set(self.scenarios) - set(SCENARIO_PRESETS) - set(SHARD_SCENARIO_PRESETS)
+            set(self.scenarios)
+            - set(SCENARIO_PRESETS)
+            - set(SHARD_SCENARIO_PRESETS)
+            - set(AUTH_SCENARIO_PRESETS)
         )
         if unknown:
             raise ValueError(f"unknown scenario presets {sorted(unknown)}")
@@ -147,6 +163,12 @@ class CampaignGrid:
         if sharded and set(self.protocols) != {"bitcoin"}:
             raise ValueError(
                 f"shard presets {sorted(sharded)} run on bitcoin only; "
+                "restrict protocols=('bitcoin',)"
+            )
+        authed = set(self.scenarios) & set(AUTH_SCENARIO_PRESETS)
+        if authed and set(self.protocols) != {"bitcoin"}:
+            raise ValueError(
+                f"auth presets {sorted(authed)} run on bitcoin only; "
                 "restrict protocols=('bitcoin',)"
             )
         if not self.protocols or not self.scenarios or not self.seeds:

@@ -75,6 +75,10 @@ class CellResult:
     #: cross-shard atomicity verdict.  None for single-chain cells.
     #: Same determinism contract as ``mempool``.
     shard: Optional[Dict[str, Any]] = None
+    #: Signature-pipeline measurements (``ProtocolRun.auth_stats`` /
+    #: ``ShardedRun.auth_stats``) for cells with ``scenario.auth``; None
+    #: for unsigned cells.  Same determinism contract as ``mempool``.
+    auth: Optional[Dict[str, Any]] = None
 
     @property
     def cell_id(self) -> str:
@@ -100,6 +104,7 @@ class CellResult:
             "mempool": self.mempool,
             "sync": self.sync,
             "shard": self.shard,
+            "auth": self.auth,
         }
 
     def flat_dict(self) -> Dict[str, Any]:

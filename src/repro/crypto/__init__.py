@@ -14,13 +14,23 @@ form:
 * :mod:`repro.crypto.signatures` — simulated signatures with a registry
   acting as the PKI (adequate for simulation: unforgeable unless the
   signing seed is known, verifiable by anyone holding the registry).
+* :mod:`repro.crypto.auth` — the authenticated block/transaction
+  pipeline: per-replica :class:`~repro.crypto.auth.BlockAuthenticator`
+  (midstate-amortized + cached verification, equivocation evidence and
+  bans) and scenario PKI derivation.
 """
 
 from repro.crypto.hashing import hash_hex, hash_to_unit, leading_zero_bits, meets_difficulty
 from repro.crypto.pow import PoWPuzzle, PoWSolution
 from repro.crypto.merkle import MerkleTree
 from repro.crypto.vrf import VRFKey, sortition_weight
-from repro.crypto.signatures import KeyPair, SignatureRegistry
+from repro.crypto.signatures import KeyPair, Signature, SignatureRegistry
+from repro.crypto.auth import (
+    BlockAuthenticator,
+    EquivocationEvidence,
+    build_registry,
+    sign_submissions,
+)
 
 __all__ = [
     "hash_hex",
@@ -33,5 +43,10 @@ __all__ = [
     "VRFKey",
     "sortition_weight",
     "KeyPair",
+    "Signature",
     "SignatureRegistry",
+    "BlockAuthenticator",
+    "EquivocationEvidence",
+    "build_registry",
+    "sign_submissions",
 ]

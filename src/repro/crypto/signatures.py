@@ -57,10 +57,23 @@ class SignatureRegistry:
 
     def verify(self, signature: Signature, *message: Any) -> bool:
         """Whether ``signature`` is valid for ``message`` under its signer's key."""
+        return self.verify_detailed(signature, *message) == "ok"
+
+    def verify_detailed(self, signature: Signature, *message: Any) -> str:
+        """Verify with a typed verdict: ``"ok"``, ``"unknown-signer"``
+        or ``"bad-digest"``.
+
+        Callers that surface rejection statistics (the authenticated
+        block pipeline) need to distinguish an unregistered identity
+        from a corrupted or forged digest; plain :meth:`verify`
+        collapses both to ``False``.
+        """
         kp = self.keys.get(signature.signer)
         if kp is None:
-            return False
-        return signature.digest == hash_hex("sig", kp.seed, kp.owner, *message)
+            return "unknown-signer"
+        if signature.digest != hash_hex("sig", kp.seed, kp.owner, *message):
+            return "bad-digest"
+        return "ok"
 
     @staticmethod
     def quorum(signatures, threshold: int) -> bool:

@@ -384,9 +384,15 @@ class SyncManager:
         self._send_range()
 
     def _on_blocks(self, src: str, message: tuple) -> None:
-        _tag, req_id, blocks, remaining = message
+        # Length-tolerant unpack: authenticated servers append a fifth
+        # element (equivocation evidence) that pre-auth clients ignore.
+        _tag, req_id, blocks, remaining = message[:4]
         if req_id != self.req_id or self.state != "range":
             return
+        if len(message) > 4 and message[4]:
+            ingest = getattr(self.node, "ingest_auth_evidence", None)
+            if ingest is not None:
+                ingest(message[4])
         self.attempts = 0
         self.totals["bytes_received"] += wire_size(blocks)
         adopted = self.node.adopt_synced_blocks(src, blocks)
@@ -459,7 +465,14 @@ class SyncManager:
         blocks = tuple(tree.get(bid) for bid in batch)
         self.totals["blocks_served"] += len(blocks)
         remaining = max(0, len(band) - offset - len(batch))
-        self._send(src, (SYNC_BLOCKS, req_id, blocks, remaining))
+        reply = (SYNC_BLOCKS, req_id, blocks, remaining)
+        # Piggyback equivocation evidence so a syncing replica learns the
+        # bans alongside the blocks (it may receive a banned block in this
+        # very batch; the evidence makes it refuse the whole fork).
+        auth = getattr(self.node, "auth", None)
+        if auth is not None and auth.evidence:
+            reply = reply + (tuple(auth.evidence.values()),)
+        self._send(src, reply)
 
     # -- dispatch ----------------------------------------------------------
 

@@ -83,6 +83,10 @@ class AlgorandNode(BlockchainNode):
             label=f"{self.name}r{round_id}",
             payload=self.make_payload(),
         )
+        # Sealed by the proposer's own key; with creator=None any
+        # registered signer verifies (authorship is not claimed — see
+        # repro.crypto.auth identity binding).
+        block = self.seal_block(block)
         self.begin_append(block)
         self.own_proposals[round_id] = block.block_id
         self.ba.propose(("round", round_id), block)

@@ -39,6 +39,8 @@ __all__ = ["BlockchainNode", "PassiveNode", "ProtocolRun"]
 
 BLOCK_GOSSIP = GOSSIP_TAG
 TX_GOSSIP = TX_GOSSIP_TAG
+#: Gossip tag for flooded equivocation evidence (see repro.crypto.auth).
+AUTH_EVID = "auth-evidence"
 
 
 class BlockchainNode(SimProcess):
@@ -127,6 +129,13 @@ class BlockchainNode(SimProcess):
         self.sync_totals: Dict[str, Any] = SyncManager.fresh_totals()
         self._bulk_sync = False
         self.sync = SyncManager(self)
+        # Authenticated pipeline (scenario.auth): the per-replica
+        # verifier/signer.  ``_auth_carry`` accumulates a crashed
+        # authenticator's counters — measurement apparatus survives like
+        # ``sync_totals``, while the authenticator itself is RAM (bans
+        # and evidence are re-learned via sync piggyback).
+        self.auth = scenario.build_auth()
+        self._auth_carry: Dict[str, int] = {}
 
     # -- reads ------------------------------------------------------------------
 
@@ -141,7 +150,7 @@ class BlockchainNode(SimProcess):
         """
         rec = self.network.recorder
         op_id = rec.begin(self.name, "read", (), time=self.now)
-        chain = self.selection.select(self.tree)
+        chain = self.select_chain()
         rec.end(self.name, op_id, "read", chain, time=self.now)
         if self.pool is not None:
             # Committed transactions are reaped on fork-choice reads:
@@ -275,11 +284,19 @@ class BlockchainNode(SimProcess):
     def validate_incoming(self, block: Block) -> bool:
         """The validity predicate ``P`` applied on reception.
 
-        With ``scenario.pow_difficulty_bits > 0`` the block must carry a
-        nonce solving the hash puzzle over (parent, payload, creator) —
-        the concrete Dwork–Naor instantiation of oracle validation.
-        Subclasses may add application rules (e.g. double-spend checks).
+        With ``scenario.auth`` the block must carry a digest-valid
+        signature bound to its claimed creator (see
+        :meth:`repro.crypto.auth.BlockAuthenticator.check_block`) —
+        checked first, since forged blocks must die before any other
+        work is spent on them.  With ``scenario.pow_difficulty_bits > 0``
+        the block must additionally carry a nonce solving the hash
+        puzzle over (parent, payload, creator) — the concrete
+        Dwork–Naor instantiation of oracle validation.  Subclasses may
+        add application rules (e.g. double-spend checks).
         """
+        if self.auth is not None and self.auth.check_block(block) != "ok":
+            self._after_auth_reject()
+            return False
         bits = self.scenario.pow_difficulty_bits
         if bits <= 0:
             return True
@@ -381,6 +398,10 @@ class BlockchainNode(SimProcess):
         block.
         """
         added = 0
+        if self.auth is not None and blocks:
+            # Amortized batch verification: one midstate finish per
+            # fresh digest, so the per-block checks below hit the cache.
+            self.auth.prime_batch(blocks)
         self._bulk_sync = True
         try:
             for block in blocks:
@@ -410,7 +431,11 @@ class BlockchainNode(SimProcess):
             # Submissions to a down ingress replica are lost — clients
             # talking to a crashed node get no service, not a queue.
             return 0
-        chain = self.selection.select(self.tree)
+        if self.auth is not None:
+            txs = self._auth_admit_txs(txs)
+            if not txs:
+                return 0
+        chain = self.select_chain()
         accepted = self.pool.add_batch(txs, chain=chain, now=self.now)
         # Only ids the pool accepted or holds are marked seen: a
         # submission rejected for a transient reason (double-spend
@@ -473,17 +498,149 @@ class BlockchainNode(SimProcess):
             fresh.append(tx)
         if not fresh:
             return
-        chain = self.selection.select(self.tree)
+        if self.auth is not None:
+            fresh = list(self._auth_admit_txs(tuple(fresh)))
+            if not fresh:
+                return
+        chain = self.select_chain()
         accepted = self.pool.add_batch(fresh, chain=chain, now=self.now)
         self._mark_relayed_tx_seen(tuple(fresh), accepted)
         self._relay_fresh_txs(accepted)
 
+    def _auth_admit_txs(
+        self, txs: Tuple[Transaction, ...]
+    ) -> Tuple[Transaction, ...]:
+        """Drop transactions failing signature verification at ingest.
+
+        Rejected ids are not marked seen: an unsigned/forged copy must
+        not blacklist the id against a later validly signed arrival.
+        """
+        return tuple(tx for tx in txs if self.auth.check_tx(tx) == "ok")
+
     def on_gossip(self, src: str, message: tuple) -> bool:
-        """Dispatch transport traffic (blocks, txs, reconciliation and
-        fast-sync control messages); True when consumed."""
+        """Dispatch transport traffic (blocks, txs, reconciliation,
+        fast-sync control and equivocation evidence); True when consumed."""
         if self.transport.on_message(src, message):
             return True
-        return self.sync.on_message(src, message)
+        if self.sync.on_message(src, message):
+            return True
+        if (
+            self.auth is not None
+            and isinstance(message, tuple)
+            and message
+            and message[0] == AUTH_EVID
+        ):
+            self.ingest_auth_evidence(message[1:])
+            return True
+        return False
+
+    # -- authenticated pipeline --------------------------------------------------------
+
+    def seal_block(self, block: Block) -> Block:
+        """Sign a locally produced block with this replica's key.
+
+        The identity hook every block-production site calls after
+        ``make_block``; a no-op when the scenario runs unsigned, so the
+        unsigned pipeline stays byte-identical.  Byzantine subclasses
+        override this to mount signature attacks.
+        """
+        if self.auth is None:
+            return block
+        return self.auth.sign_block(block, self.name)
+
+    def select_chain(self) -> Chain:
+        """Fork choice with equivocation bans applied.
+
+        The zero-cost fast path — no bans, or no banned id anywhere on
+        the preferred chain — returns the selection function's pick
+        untouched, keeping unsigned and attack-free runs byte-identical.
+        When the preferred tip sits on a poisoned branch, re-select over
+        the leaves with no banned ancestor, scored by the same rule the
+        selection function uses (GHOST falls back to chain weight — the
+        subtree walk cannot skip branches, and a poisoned subtree's
+        weight should not steer honest selection anyway).
+
+        This lives on the node rather than wrapping ``self.selection``
+        because protocol subclasses overwrite ``selection`` after
+        ``__init__`` (Bitcoin installs HeaviestChain, Ethereum GHOST).
+        """
+        chain = self.selection.select(self.tree)
+        auth = self.auth
+        if auth is None or not auth.banned_ids:
+            return chain
+        tree = self.tree
+        present = [bid for bid in sorted(auth.banned_ids) if bid in tree]
+        if not present or not any(
+            tree.is_ancestor(bid, chain.tip_id) for bid in present
+        ):
+            return chain
+        # Each leaf contributes its deepest *clean* prefix tip: the leaf
+        # itself when no banned id lies on its path, else the parent of
+        # the topmost banned ancestor.  (Filtering to clean leaves alone
+        # is wrong: when the adversary mines on every honest tip, every
+        # leaf is poisoned and honest blocks are interior — falling back
+        # to genesis would make honest miners re-extend an already-used
+        # parent, which reads as equivocation to their peers.)
+        candidates: List[str] = []
+        seen_candidates = set()
+        for leaf in tree.leaves():
+            poisoned = [b for b in present if tree.is_ancestor(b, leaf.block_id)]
+            if not poisoned:
+                cand = leaf.block_id
+            else:
+                topmost = min(poisoned, key=lambda b: (tree.height(b), b))
+                cand = tree.parent_id(topmost) or tree.genesis.block_id
+            if cand not in seen_candidates:
+                seen_candidates.add(cand)
+                candidates.append(cand)
+        if isinstance(self.selection, LongestChain):
+            score = tree.height
+        else:
+            score = tree.chain_weight
+        return tree.chain_to(max(candidates, key=lambda bid: (score(bid), bid)))
+
+    def ingest_auth_evidence(self, evidence: Tuple[Any, ...]) -> int:
+        """Accept equivocation evidence (relayed or sync-piggybacked).
+
+        Fresh, valid evidence bans both rival ids, marks them rejected
+        (so parked descendants die on the next stale-orphan sweep) and
+        re-floods forward-once — the evidence dedup set doubles as the
+        seen-set.  Returns how many items were fresh.
+        """
+        if self.auth is None:
+            return 0
+        fresh = 0
+        for ev in evidence:
+            if self.auth.ingest_evidence(ev):
+                fresh += 1
+                self._apply_auth_bans(ev)
+                self._flood_auth_evidence(ev)
+        return fresh
+
+    def _after_auth_reject(self) -> None:
+        """Post-reject hook: publish any evidence the check generated."""
+        for ev in self.auth.drain_fresh_evidence():
+            self._apply_auth_bans(ev)
+            self._flood_auth_evidence(ev)
+
+    def _apply_auth_bans(self, ev: Any) -> None:
+        for block_id in ev.banned_ids:
+            self.rejected_blocks.add(block_id)
+        self._discard_stale_orphans()
+
+    def _flood_auth_evidence(self, ev: Any) -> None:
+        if not self.offline:
+            self.broadcast((AUTH_EVID, ev))
+
+    def auth_report(self) -> Dict[str, Any]:
+        """Cumulative authenticator counters (crash carry included)."""
+        merged = dict(self._auth_carry)
+        if self.auth is not None:
+            for key, value in self.auth.counters.items():
+                merged[key] = merged.get(key, 0) + value
+            merged["evidence"] = len(self.auth.evidence)
+            merged["banned"] = len(self.auth.banned_ids)
+        return merged
 
     # -- node lifecycle ---------------------------------------------------------------
 
@@ -549,6 +706,7 @@ class BlockchainNode(SimProcess):
         self._parked_ids = BoundedSet(cap=2048)
         self.seen_blocks = {self.tree.genesis.block_id}
         self.received_marks = set()
+        self._rebuild_auth()
 
     def lifecycle_recover(self) -> None:
         """Rebuild from the durable store, then resume and fast-sync.
@@ -588,7 +746,29 @@ class BlockchainNode(SimProcess):
             scenario.gossip, self, interval=scenario.recon_interval
         )
         self.sync = SyncManager(self)
+        # The authenticator is RAM and was dropped at crash time; a
+        # fresh one rebuilds the PKI from the scenario seed, and bans/
+        # evidence are re-learned from peers (sync piggyback + refloods).
+        self._rebuild_auth()
         self.lifecycle_resume()
+
+    def _rebuild_auth(self) -> None:
+        """Crash-rebuild the authenticator.
+
+        Counters fold into the carry (measurement apparatus, like
+        ``sync_totals``); the signer-side slashing-protection journal
+        survives the rebuild (real validators persist exactly that, so a
+        recovered miner never signs a rival at a parent it already
+        extended); bans and evidence are RAM — re-learned from peers.
+        """
+        if self.auth is None:
+            return
+        for key, value in self.auth.counters.items():
+            self._auth_carry[key] = self._auth_carry.get(key, 0) + value
+        journal = dict(self.auth.signed_parents)
+        self.auth = self.scenario.build_auth()
+        if self.auth is not None:
+            self.auth.signed_parents.update(journal)
 
     def lifecycle_join(self) -> None:
         """A late joiner comes online (it started suspended, store empty)."""
@@ -613,7 +793,7 @@ class BlockchainNode(SimProcess):
         per-replica synthetic generator.
         """
         if self.packer is not None:
-            chain = self.selection.select(self.tree)
+            chain = self.select_chain()
             payload = self.packer.pack(chain, self.scenario.tx_per_block, self.now)
             self._relay_fresh_txs()  # packing syncs the pool; relay unparks
             return payload
@@ -621,7 +801,7 @@ class BlockchainNode(SimProcess):
 
     def selected_tip(self) -> Block:
         """The tip of ``f(bt)`` on the local replica."""
-        return self.selection.select(self.tree).tip
+        return self.select_chain().tip
 
 
 class PassiveNode(BlockchainNode):
@@ -671,7 +851,7 @@ class ProtocolRun:
 
     def final_chains(self) -> Dict[str, Chain]:
         """Each node's adopted chain at the end of the run."""
-        return {n.name: n.selection.select(n.tree) for n in self.nodes}
+        return {n.name: n.select_chain() for n in self.nodes}
 
     def max_fork_degree(self) -> int:
         """The widest fork observed on any replica."""
@@ -700,16 +880,24 @@ class ProtocolRun:
         """Per-node block-store lifecycle counters (``BlockTree.stats``)."""
         return {n.name: n.tree.stats() for n in self.nodes}
 
-    def append_stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-node append bookkeeping (begun/resolved/unknown-resolution)."""
-        return {
-            n.name: {
+    def append_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-node append bookkeeping (begun/resolved/unknown-resolution).
+
+        With ``scenario.auth`` each entry also carries the replica's
+        typed signature-rejection counters (``auth``) — forged vs
+        unregistered vs misbound rejections are separately observable.
+        """
+        stats: Dict[str, Dict[str, Any]] = {}
+        for n in self.nodes:
+            entry: Dict[str, Any] = {
                 "begun": n.appends_begun,
                 "resolved": n.appends_resolved,
                 "unknown_resolutions": n.unknown_append_resolutions,
             }
-            for n in self.nodes
-        }
+            if n.auth is not None or n._auth_carry:
+                entry["auth"] = n.auth_report()
+            stats[n.name] = entry
+        return stats
 
     def unknown_append_resolutions(self) -> int:
         """Total resolve-without-begin events across all replicas."""
@@ -790,6 +978,29 @@ class ProtocolRun:
             },
             "duplicate_relay_ratio": duplicates / received if received else 0.0,
         }
+
+    def auth_stats(self) -> Dict[str, Any]:
+        """Authenticated-pipeline measurements (empty when auth is off).
+
+        ``per_node`` carries each replica's cumulative authenticator
+        counters (crash carry included); ``totals`` sums every numeric
+        column except the per-replica gauges (``evidence``/``banned``,
+        reported as maxima — evidence replicates, it doesn't add up).
+        Deterministic: all counters derive from message flow, never wall
+        clock, so serial and parallel campaign executions agree.
+        """
+        if not getattr(self.scenario, "auth", False):
+            return {}
+        per_node = {n.name: n.auth_report() for n in self.nodes}
+        totals: Dict[str, int] = {}
+        gauges = ("evidence", "banned")
+        for stats in per_node.values():
+            for key, value in stats.items():
+                if key in gauges:
+                    totals[key] = max(totals.get(key, 0), value)
+                else:
+                    totals[key] = totals.get(key, 0) + value
+        return {"per_node": per_node, "totals": totals}
 
     def sync_stats(self) -> Dict[str, Any]:
         """Fast-sync measurements (empty when no replica ever synced).
@@ -872,8 +1083,24 @@ class ProtocolRun:
             # churn, selfish withholding) into the channel stack.
             channel, faults = scenario.build_channel()
         net = Network(sim, channel=channel, overlay=scenario.build_overlay())
+        byzantine = scenario.byzantine_map()
+        if byzantine:
+            # Late import: repro.protocols.byzantine subclasses the
+            # protocol node classes defined on top of this module.
+            from repro.protocols.byzantine import ADVERSARY_KINDS
+
+            def cls_for(name: str) -> Type[BlockchainNode]:
+                kind = byzantine.get(name)
+                return ADVERSARY_KINDS[kind] if kind else node_cls
+
+        else:
+
+            def cls_for(name: str) -> Type[BlockchainNode]:
+                return node_cls
+
         nodes = [
-            net.register(node_cls(name, scenario)) for name in scenario.node_names()
+            net.register(cls_for(name)(name, scenario))
+            for name in scenario.node_names()
         ]
         if configure is not None:
             configure(net, nodes)
@@ -898,6 +1125,16 @@ class ProtocolRun:
             submissions = scenario.traffic.compile_submissions(
                 scenario.node_names(), scenario.seed, scenario.duration
             )
+            if scenario.auth:
+                # Clients seal their transactions before submission; a
+                # post-pass keeps the compiled schedule itself (times,
+                # ingress choices, tx ids) byte-identical to unsigned.
+                from repro.crypto.auth import build_registry, sign_submissions
+
+                submissions = sign_submissions(
+                    submissions,
+                    build_registry(scenario.seed, scenario.auth_signers()),
+                )
             for sub in submissions:
                 sim.schedule_at(
                     sub.time,

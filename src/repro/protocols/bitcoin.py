@@ -108,6 +108,7 @@ class BitcoinNode(BlockchainNode):
             nonce=self._solve_pow(tip, payload),
             weight=1.0,
         )
+        block = self.seal_block(block)
         self.blocks_mined += 1
         self.begin_append(block)
         self.resolve_append(block.block_id, True)  # prodigal: always accepted

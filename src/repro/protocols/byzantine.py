@@ -16,16 +16,43 @@ processes.  These adversarial nodes exercise that boundary:
 * :class:`WithholdingMiner` — a selfish-mining flavour: keeps its blocks
   private for ``withhold_for`` seconds before releasing, lengthening the
   divergence window the Eventual-Prefix metrics measure.
+
+The signature adversaries (wired through ``AdversarialScenario.byzantine``
+and :data:`ADVERSARY_KINDS`) mount attacks that *only* the authenticated
+pipeline (``scenario.auth``, see :mod:`repro.crypto.auth`) defeats — the
+PoW predicate, double-spend rules and lifecycle machinery all accept
+their blocks:
+
+* :class:`ForgedSignatureMiner` — seals blocks with a guessed key: the
+  digest is invalid under the scenario PKI (``bad-digest``), so every
+  honest replica refuses them on receipt.
+* :class:`EquivocatingMiner` (with auth on) — signs *two rivals at one
+  height* with its real key; honest replicas assemble slander-proof
+  :class:`~repro.crypto.auth.EquivocationEvidence`, ban both rivals and
+  flood the evidence.
+* :class:`StolenIdentityRelay` — mines blocks claiming a victim's
+  ``creator`` identity, sealed with its own key (it cannot produce the
+  victim's digest); identity binding rejects them (``wrong-signer``).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, List
 
+from repro._util import prf_uint64
 from repro.blocktree.block import Block, make_block
+from repro.crypto.signatures import KeyPair
 from repro.protocols.bitcoin import BitcoinNode
 
-__all__ = ["ForgingMiner", "EquivocatingMiner", "WithholdingMiner"]
+__all__ = [
+    "ForgingMiner",
+    "EquivocatingMiner",
+    "WithholdingMiner",
+    "ForgedSignatureMiner",
+    "StolenIdentityRelay",
+    "ADVERSARY_KINDS",
+]
 
 
 class ForgingMiner(BitcoinNode):
@@ -44,6 +71,15 @@ class ForgingMiner(BitcoinNode):
 
 class EquivocatingMiner(BitcoinNode):
     """Announces two conflicting blocks per mined slot, split-brain style."""
+
+    def seal_block(self, block: Block) -> Block:
+        # Bypass the authenticator's slashing-protection journal — the
+        # whole point of this adversary is to sign rival pairs, which
+        # honest ``sign_block`` refuses to do.
+        if self.auth is None:
+            return block
+        kp = self.auth.keypair_for(self.name)
+        return replace(block, signature=kp.sign("block", block.block_id))
 
     def _mine_block(self) -> None:
         tip = self.selected_tip()
@@ -66,6 +102,10 @@ class EquivocatingMiner(BitcoinNode):
                     creator=int(self.name[1:]),
                     nonce=self._solve_pow(tip, payload),
                 )
+            # Both rivals are sealed with the equivocator's *real* key —
+            # each signature verifies in isolation; only the pair is
+            # provable misbehaviour (the equivocation index catches it).
+            block = self.seal_block(block)
             variants.append(block)
         self.blocks_mined += 1
         peers = [p for p in self.network.process_names() if p != self.name]
@@ -96,6 +136,7 @@ class WithholdingMiner(BitcoinNode):
             creator=int(self.name[1:]),
             nonce=self._solve_pow(tip, payload),
         )
+        block = self.seal_block(block)
         self.blocks_mined += 1
         self.begin_append(block)
         self.resolve_append(block.block_id, True)
@@ -113,3 +154,69 @@ class WithholdingMiner(BitcoinNode):
                     self.announce_block(block)
             return
         super().on_timer(tag)
+
+
+class ForgedSignatureMiner(BitcoinNode):
+    """Seals its blocks with a key it invented, not the registered one.
+
+    The forged digest never matches what the scenario PKI recomputes, so
+    honest replicas reject every block (``bad-digest``) before any other
+    validation work.  Without ``scenario.auth`` the blocks are
+    structurally fine and enter honest trees — the attack the signed
+    pipeline exists to stop.
+    """
+
+    def seal_block(self, block: Block) -> Block:
+        if self.auth is None:
+            return block
+        forged = KeyPair(
+            owner=self.name, seed=prf_uint64("forged-key", self.scenario.seed, self.name)
+        )
+        return replace(block, signature=forged.sign("block", block.block_id))
+
+    def validate_incoming(self, block: Block) -> bool:
+        return True  # Byzantine: accepts anything, including its own forgeries
+
+
+class StolenIdentityRelay(BitcoinNode):
+    """Mines blocks impersonating another replica's identity.
+
+    Each block claims the victim's ``creator`` but is sealed with the
+    attacker's own key — it cannot produce the victim's digest without
+    the victim's seed.  The digest verifies (the attacker *is*
+    registered), but identity binding rejects the mismatch
+    (``wrong-signer``).  Unsigned pipelines accept the impersonation
+    wholesale.
+    """
+
+    @property
+    def victim_index(self) -> int:
+        mine = int(self.name[1:])
+        return 1 if mine == 0 else 0
+
+    def seal_block(self, block: Block) -> Block:
+        # Rebuild through make_block so the impersonating block's id is
+        # self-consistent (the id commits to the claimed creator).
+        stolen = make_block(
+            parent=block.parent_id or "",
+            label=block.label,
+            payload=block.payload,
+            creator=self.victim_index,
+            nonce=block.nonce,
+            weight=block.weight,
+        )
+        if self.auth is None:
+            return stolen
+        return self.auth.sign_block(stolen, self.name)
+
+    def validate_incoming(self, block: Block) -> bool:
+        return True  # Byzantine: accepts anything, including its own blocks
+
+
+#: AdversarialScenario.byzantine kind → node class (mirrored by
+#: BYZANTINE_KINDS in repro.workloads.scenarios for validation).
+ADVERSARY_KINDS = {
+    "forged-signature": ForgedSignatureMiner,
+    "equivocating-signer": EquivocatingMiner,
+    "stolen-identity": StolenIdentityRelay,
+}

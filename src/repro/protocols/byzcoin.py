@@ -109,6 +109,7 @@ class CommitteePoWNode(BlockchainNode):
             payload=self.make_payload(),
             creator=int(self.name[1:]),
         )
+        block = self.seal_block(block)
         self.blocks_mined += 1
         self.begin_append(block)
         # Candidate dissemination is a §4.2 send (with loopback receive).

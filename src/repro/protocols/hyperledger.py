@@ -111,6 +111,10 @@ class HyperledgerNode(BlockchainNode):
             return  # already appended this sequence
         submitter, counter, payload = batch
         block = make_block(parent=tip, label=f"blk{seq}", payload=payload)
+        # Each peer materializes the same ordered block locally and seals
+        # its copy with its own key (creator=None: any registered signer
+        # verifies — there is no single author to bind to).
+        block = self.seal_block(block)
         # Every peer records the append of the delivered block (replicated
         # echoes of one consume; deduplicated by the k-fork checker).
         self.begin_append(block)

@@ -73,6 +73,10 @@ class RedBellyNode(BlockchainNode):
         tip = self.selected_tip()
         payload = tuple(tx for _proposer, batch in union for tx in batch)
         block = make_block(parent=tip, label=f"sb{round_id}", payload=payload)
+        # Each committing member builds the same superblock locally and
+        # seals its copy with its own key (creator=None: any registered
+        # signer verifies).
+        block = self.seal_block(block)
         # Every committing member records the (one) append: the replicated
         # records are echoes of the same token consumption — the k-fork
         # checker deduplicates by block id.

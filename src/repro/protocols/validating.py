@@ -73,6 +73,7 @@ class DoubleSpendMiner(BitcoinNode):
             creator=int(self.name[1:]),
             nonce=self._solve_pow(tip, payload),
         )
+        block = self.seal_block(block)
         self.blocks_mined += 1
         self.begin_append(block)
         self.resolve_append(block.block_id, True)  # the attacker believes so

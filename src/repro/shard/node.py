@@ -246,8 +246,9 @@ class ShardedNode(SimProcess):
     # -- cross-shard coordinator ---------------------------------------------
 
     def _selected(self, shard: int):
-        facet = self.facets[shard]
-        return facet.selection.select(facet.tree)
+        # select_chain (not selection.select) honours equivocation bans
+        # when the facet runs with ``auth`` enabled.
+        return self.facets[shard].select_chain()
 
     def _scan_facets(self) -> None:
         """Process newly confirmed records on every subscribed facet."""

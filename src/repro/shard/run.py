@@ -80,9 +80,13 @@ class ShardedRun:
     # -- chains ---------------------------------------------------------------
 
     def shard_chains(self, shard: int) -> Dict[str, Chain]:
-        """Each subscribed replica's adopted chain on one shard."""
+        """Each subscribed replica's adopted chain on one shard.
+
+        Goes through ``select_chain`` so equivocation bans are honoured
+        when the facets run authenticated.
+        """
         return {
-            node.name: node.facets[shard].selection.select(node.facets[shard].tree)
+            node.name: node.facets[shard].select_chain()
             for node in self.nodes
             if shard in node.facets
         }
@@ -242,6 +246,30 @@ class ShardedRun:
         totals = {key: sum(stats[key] for stats in per_node.values()) for key in keys}
         return {"per_node": per_node, "totals": totals}
 
+    def auth_stats(self) -> Dict[str, Any]:
+        """Signature-pipeline counters summed over each replica's facets.
+
+        Shape-compatible with :meth:`ProtocolRun.auth_stats`; empty when
+        the scenario runs unsigned.
+        """
+        if not self.scenario.auth:
+            return {}
+        per_node: Dict[str, Dict[str, int]] = {}
+        for node in self.nodes:
+            agg: Dict[str, int] = {}
+            for facet in node.facets.values():
+                for key, value in facet.auth_report().items():
+                    agg[key] = agg.get(key, 0) + value
+            per_node[node.name] = agg
+        totals: Dict[str, int] = {}
+        for stats in per_node.values():
+            for key, value in stats.items():
+                if key in ("evidence", "banned"):
+                    totals[key] = max(totals.get(key, 0), value)
+                else:
+                    totals[key] = totals.get(key, 0) + value
+        return {"per_node": per_node, "totals": totals}
+
     # -- sharding-specific measurements ---------------------------------------
 
     def atomicity(self, grace: Optional[float] = None) -> AtomicityReport:
@@ -358,6 +386,13 @@ def execute_sharded(
     submissions = scenario.traffic.compile_shard_submissions(
         members, scenario.seed, scenario.duration
     )
+    if scenario.auth:
+        from repro.crypto.auth import build_registry, sign_submissions
+
+        registry = build_registry(scenario.seed, scenario.auth_signers())
+        submissions = {
+            k: sign_submissions(subs, registry) for k, subs in submissions.items()
+        }
     for shard, subs in submissions.items():
         for sub in subs:
             sim.schedule_at(

@@ -69,6 +69,11 @@ __all__ = [
 #: the protocol layer (which imports this module).
 GOSSIP_TAG = "block-gossip"
 
+#: Byzantine replica kinds (mirrors ADVERSARY_KINDS in
+#: :mod:`repro.protocols.byzantine`; listed here so scenario validation
+#: does not import the protocol layer, which imports this module).
+BYZANTINE_KINDS = ("forged-signature", "equivocating-signer", "stolen-identity")
+
 
 def derive_seed(seed: int, *context: Union[str, int]) -> int:
     """A seed stream derived from ``seed`` and a context tuple via SHA-256.
@@ -158,6 +163,17 @@ class ProtocolScenario:
     #: shards ``{(i + j) % K}``.  0 subscribes every replica to all
     #: shards (full replication, the default).
     shard_subscription: int = 0
+    #: Authenticated pipeline (see :mod:`repro.crypto.auth`): when True,
+    #: authoring replicas sign block/transaction content ids and every
+    #: receive path verifies before accept/park/relay.  False keeps the
+    #: historical unsigned pipeline byte-identical (signatures are
+    #: witness data, excluded from content ids, so ids match either way).
+    auth: bool = False
+    #: Capacity of the verified-(id, signer) cache (0 disables caching).
+    auth_cache: int = 65536
+    #: Process-pool workers for batched sync verification (0/1 = inline;
+    #: ignored inside daemonic campaign workers).
+    auth_offload: int = 0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -240,6 +256,10 @@ class ProtocolScenario:
             from repro.shard.assignment import validate_coverage
 
             validate_coverage(self.node_names(), self.shards, self.shard_subscription)
+        if self.auth_cache < 0:
+            raise ValueError("auth_cache must be >= 0 (0 disables the cache)")
+        if self.auth_offload < 0:
+            raise ValueError("auth_offload must be >= 0 (0/1 = inline)")
         if self.traffic is not None:
             self.traffic.validate()
 
@@ -252,6 +272,44 @@ class ProtocolScenario:
     def node_names(self) -> Tuple[str, ...]:
         """The node identities ``p0 … p(n-1)``."""
         return tuple(f"p{i}" for i in range(self.n_nodes))
+
+    # -- authenticated pipeline ---------------------------------------------
+
+    def auth_signers(self) -> Tuple[str, ...]:
+        """Every identity holding a key in this scenario's PKI.
+
+        Replicas sign the blocks they author; traffic clients (and the
+        spam adversary's namespace) sign the transactions they issue.
+        Registering a key costs nothing for identities that never sign,
+        so the spammer is always included when traffic is configured.
+        """
+        signers = list(self.node_names())
+        if self.traffic is not None:
+            signers.extend(self.traffic.client_names())
+            signers.append("spammer")
+        return tuple(signers)
+
+    def build_auth(self):
+        """A fresh :class:`~repro.crypto.auth.BlockAuthenticator` for one
+        replica, or ``None`` when the scenario runs unsigned.
+
+        Keys derive from ``(seed, owner)`` only, so every replica — and
+        every shard facet built from a facet-scoped scenario copy with
+        the same seed — reconstructs the identical PKI independently.
+        """
+        if not self.auth:
+            return None
+        from repro.crypto.auth import BlockAuthenticator, build_registry
+
+        return BlockAuthenticator(
+            build_registry(self.seed, self.auth_signers()),
+            cache_cap=self.auth_cache,
+            offload=self.auth_offload,
+        )
+
+    def byzantine_map(self) -> Dict[str, str]:
+        """Node name → adversary kind (empty for fault-free scenarios)."""
+        return {}
 
     def block_interval_at(self, now: float) -> float:
         """Mean block interval in effect at simulated time ``now``."""
@@ -512,10 +570,31 @@ class AdversarialScenario(ProtocolScenario):
     bursts: Tuple[TrafficBurst, ...] = ()
     selfish_nodes: Tuple[str, ...] = ()
     selfish_extra_delay: float = 15.0
+    #: Byzantine replica assignments: ``(node name, adversary kind)``
+    #: pairs substituting the node's class at registration (see
+    #: ``repro.protocols.byzantine.ADVERSARY_KINDS``).  The signature
+    #: adversaries (forged-signature / equivocating-signer /
+    #: stolen-identity) are meaningful with ``auth=True`` — running them
+    #: unsigned demonstrates the attack succeeding.
+    byzantine: Tuple[Tuple[str, str], ...] = ()
 
     def validate(self) -> None:
         super().validate()
         names = self.node_names()
+        seen_byz = set()
+        for node, kind in self.byzantine:
+            if node not in names:
+                raise ValueError(f"byzantine node {node!r} is not in the network")
+            if kind not in BYZANTINE_KINDS:
+                raise ValueError(
+                    f"unknown byzantine kind {kind!r}; expected one of "
+                    f"{BYZANTINE_KINDS}"
+                )
+            if node in seen_byz:
+                raise ValueError(f"node {node!r} assigned two byzantine kinds")
+            seen_byz.add(node)
+        if self.byzantine and self.shards > 1:
+            raise ValueError("byzantine replicas are not supported in sharded runs")
         for partition in self.partitions:
             partition.validate(names)
         lifecycle = (*self.churn, *self.crashes, *self.joins, *self.eclipses)
@@ -656,6 +735,9 @@ class AdversarialScenario(ProtocolScenario):
 
     def initially_offline(self) -> frozenset:
         return frozenset(j.node for j in self.joins)
+
+    def byzantine_map(self) -> Dict[str, str]:
+        return dict(self.byzantine)
 
 
 def skewed_merits(n_nodes: int, exponent: float = 1.2, seed: int = 0) -> Tuple[float, ...]:
@@ -1004,6 +1086,44 @@ def adversarial_scenarios(n_nodes: int = 4, duration: float = 240.0) -> Dict[str
             mean_block_interval=12.0,
             shards=4,
             traffic=shard_presets["shard-hot"],
+            metrics_interval=duration / 24,
+        ),
+        # Authenticated-pipeline presets (see repro.crypto.auth): one
+        # Byzantine replica mounts an attack only signature checking can
+        # defeat — the PoW predicate, double-spend rules and lifecycle
+        # machinery all accept its blocks.  The gate (benchmarks/
+        # test_bench_auth.py) asserts zero adversary-authored blocks in
+        # any honest replica's committed chain.
+        "forged-signature": AdversarialScenario(
+            name="forged-signature",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=12.0,
+            auth=True,
+            byzantine=((names[-1], "forged-signature"),),
+            metrics_interval=duration / 24,
+        ),
+        "equivocating-signer": AdversarialScenario(
+            name="equivocating-signer",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=12.0,
+            auth=True,
+            # The equivocator gets the dominant merit share so its rival
+            # pairs actually land on honest tips often enough to matter.
+            merits=tuple(
+                sorted(skewed_merits(n_nodes, exponent=1.0, seed=13), reverse=True)
+            ),
+            byzantine=((names[0], "equivocating-signer"),),
+            metrics_interval=duration / 24,
+        ),
+        "stolen-identity": AdversarialScenario(
+            name="stolen-identity",
+            n_nodes=n_nodes,
+            duration=duration,
+            mean_block_interval=12.0,
+            auth=True,
+            byzantine=((names[-1], "stolen-identity"),),
             metrics_interval=duration / 24,
         ),
     }

@@ -52,6 +52,11 @@ class Transaction:
     ``tx_id`` commits to the content (fee included); coinbase
     transactions have no inputs.  ``fee`` is the priority the mempool
     orders by — higher pays more.
+
+    ``signature`` is witness data (the issuing client's signature over
+    the content id when the scenario authenticates).  Like blocks, it is
+    excluded from ``stable_repr`` so ``tx_id`` is identical whether or
+    not the transaction is signed.
     """
 
     tx_id: str
@@ -59,6 +64,9 @@ class Transaction:
     outputs: Tuple[str, ...]
     issuer: str = ""
     fee: float = 0.0
+    signature: Any = None
+
+    _STABLE_REPR_EXCLUDE = ("signature",)
 
     @staticmethod
     def make(
@@ -81,6 +89,24 @@ class Transaction:
     def is_coinbase(self) -> bool:
         """Whether this transaction mints without consuming."""
         return not self.inputs
+
+    def wire_bytes(self) -> int:
+        """Modelled wire size, mirroring the generic dataclass-field
+        recursion in :func:`repro.net.reconcile.wire_size`.
+
+        The analytic form matters beyond speed: the generic path memoizes
+        by ``tx_id``, and signatures are segregated from the id — a memo
+        hit could return a signed transaction's size for an unsigned one
+        (or vice versa) across runs sharing a process.
+        """
+        size = 4 + len(self.tx_id) + 1
+        size += 4 + sum(len(coin) + 1 for coin in self.inputs)
+        size += 4 + sum(len(coin) + 1 for coin in self.outputs)
+        size += len(self.issuer) + 1
+        size += 8  # fee
+        if self.signature is None:
+            return size + 1
+        return size + 4 + len(self.signature.signer) + 1 + len(self.signature.digest) + 1
 
 
 @dataclass

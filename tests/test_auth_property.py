@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for the signature layer.
+
+Two laws the authenticated pipeline leans on:
+
+* **Round-trip stability** — a signature over any message verifies under
+  the registry that issued the key, and re-signing is deterministic (the
+  digest is a pure function of seed + owner + message), so content-id
+  interning and witness segregation cannot drift.
+* **Tamper evidence** — mutating *any* field of a signed block or
+  transaction (or the signature itself) makes verification fail with a
+  typed reason, never silently pass.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocktree.block import GENESIS, make_block
+from repro.crypto.auth import BlockAuthenticator, build_registry
+from repro.crypto.signatures import KeyPair, SignatureRegistry
+from repro.workloads.transactions import Transaction
+
+owners = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=8
+)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+messages = st.lists(
+    st.one_of(st.text(max_size=12), st.integers(), st.floats(allow_nan=False)),
+    max_size=4,
+)
+
+
+@given(owner=owners, seed=seeds, message=messages)
+@settings(max_examples=60)
+def test_signature_round_trip(owner, seed, message):
+    registry = SignatureRegistry()
+    kp = registry.register(owner, seed=seed)
+    sig = kp.sign(*message)
+    assert registry.verify_detailed(sig, *message) == "ok"
+    # Determinism: signing is a pure function, so two independent
+    # keypairs with the same (owner, seed) agree byte for byte.
+    assert KeyPair(owner=owner, seed=seed).sign(*message) == sig
+
+
+@given(owner=owners, seed=seeds, other_seed=seeds, message=messages)
+@settings(max_examples=60)
+def test_wrong_seed_never_verifies(owner, seed, other_seed, message):
+    if seed == other_seed:
+        return
+    registry = SignatureRegistry()
+    registry.register(owner, seed=seed)
+    forged = KeyPair(owner=owner, seed=other_seed).sign(*message)
+    assert registry.verify_detailed(forged, *message) == "bad-digest"
+
+
+@given(
+    label=st.text(max_size=8),
+    payload=st.lists(st.text(max_size=8), max_size=3).map(tuple),
+    creator=st.integers(min_value=0, max_value=7),
+    nonce=st.integers(min_value=0, max_value=2**20),
+    seed=seeds,
+)
+@settings(max_examples=40)
+def test_any_block_field_tamper_is_detected(label, payload, creator, nonce, seed):
+    auth = BlockAuthenticator(build_registry(seed, tuple(f"p{i}" for i in range(8))))
+    block = make_block(GENESIS, label=label, payload=payload, creator=creator, nonce=nonce)
+    sealed = auth.sign_block(block, f"p{creator}")
+    assert auth.check_block(sealed) == "ok"
+    # Mutating any id-bearing field (the id commits to all of them)
+    # yields a block whose claimed id no longer matches its contents;
+    # re-deriving the id honestly yields a different id whose signature
+    # check fails.  Model the on-wire tamper: new contents, old id kept
+    # via the original signature.
+    tampered = [
+        make_block(GENESIS, label=label + "x", payload=payload, creator=creator, nonce=nonce),
+        make_block(GENESIS, label=label, payload=payload + ("extra",), creator=creator, nonce=nonce),
+        make_block(GENESIS, label=label, payload=payload, creator=creator, nonce=nonce + 1),
+    ]
+    for mutant in tampered:
+        forged = replace(mutant, signature=sealed.signature)
+        assert auth.check_block(forged) != "ok"
+
+
+@given(
+    inputs=st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=3).map(tuple),
+    outputs=st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=3).map(tuple),
+    fee=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    seed=seeds,
+)
+@settings(max_examples=40)
+def test_any_tx_tamper_is_detected(inputs, outputs, fee, seed):
+    auth = BlockAuthenticator(build_registry(seed, ("client0",)))
+    tx = Transaction.make(inputs, outputs, issuer="client0", fee=fee)
+    signed = replace(tx, signature=auth.keypair_for("client0").sign("tx", tx.tx_id))
+    assert auth.check_tx(signed) == "ok"
+    mutants = [
+        Transaction.make(inputs + ("x",), outputs, issuer="client0", fee=fee),
+        Transaction.make(inputs, outputs + ("x",), issuer="client0", fee=fee),
+        Transaction.make(inputs, outputs, issuer="client0", fee=fee + 1.0),
+    ]
+    for mutant in mutants:
+        forged = replace(mutant, signature=signed.signature)
+        assert auth.check_tx(forged) != "ok"
+
+
+@given(seed=seeds, a_label=st.text(max_size=6), b_label=st.text(max_size=6))
+@settings(max_examples=40)
+def test_equivocating_pair_never_both_accepted(seed, a_label, b_label):
+    """Core safety law: two distinct creator-attributed blocks at one
+    parent signed by the same key never both end up accepted — the
+    second check bans the pair, and replaying either keeps it banned."""
+    auth = BlockAuthenticator(build_registry(seed, ("p0",)))
+    kp = auth.keypair_for("p0")
+    a = make_block(GENESIS, label=a_label, creator=0)
+    b = make_block(GENESIS, label=b_label + "!", creator=0)
+    if a.block_id == b.block_id:
+        return
+    a = replace(a, signature=kp.sign("block", a.block_id))
+    b = replace(b, signature=kp.sign("block", b.block_id))
+    assert auth.check_block(a) == "ok"
+    assert auth.check_block(b) == "equivocation"
+    assert auth.check_block(a) == "equivocation"
+    assert auth.check_block(b) == "equivocation"
+    assert auth.banned_ids == {a.block_id, b.block_id}
